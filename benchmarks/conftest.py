@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and helpers.
+
+The paper has no numeric tables — its quantitative content is the
+complexity analysis (Lemma 1, Theorem 1) and the optimization-enabling
+laws (Theorems 2-5).  Each ``bench_*.py`` regenerates the corresponding
+claim as measured series; EXPERIMENTS.md records the expected vs measured
+shapes.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.eval.indexed import IndexedEngine
+from repro.core.eval.naive import NaiveEngine
+from repro.core.incident import Incident
+from repro.core.model import Log
+from repro.workflow.engine import SimulationConfig, WorkflowEngine
+from repro.workflow.models import clinic_referral_workflow
+
+
+def incident_list(log: Log, activity: str) -> list[Incident]:
+    """Atomic incident list for one activity (operator-bench input)."""
+    return [Incident([r]) for r in log.with_activity(activity)]
+
+
+@pytest.fixture(scope="session")
+def clinic_log_medium() -> Log:
+    """A mid-sized clinic log shared by several benches."""
+    engine = WorkflowEngine(clinic_referral_workflow())
+    return engine.run(SimulationConfig(instances=150, seed=1))

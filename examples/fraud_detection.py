@@ -1,0 +1,83 @@
+"""Fraud / compliance monitoring with anomaly rule-sets.
+
+The paper's conclusion proposes incident-pattern queries for "detecting
+anomalous or malicious behavior, with applications in fraud detection".
+This example runs the bundled rule libraries over all three workflow
+models, then *injects* a forged trace and shows the rules catching it.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro.analytics.anomaly import clinic_rules, loan_rules, order_rules
+from repro.logstore.store import LogStore
+from repro.workflow import SimulationConfig, WorkflowEngine
+from repro.workflow.models import (
+    clinic_referral_workflow,
+    loan_approval_workflow,
+    order_fulfillment_workflow,
+)
+
+
+def scan(name, log, ruleset) -> None:
+    print(f"\n=== {name}: {len(log)} records, {len(log.wids)} instances ===")
+    report = ruleset.run(log)
+    print(report.format())
+
+
+def inject_forged_loan(log):
+    """Append a fabricated instance that disburses a rejected loan."""
+    store = LogStore.from_log(log)
+    wid = store.open_instance()
+    forged = [
+        ("SubmitApplication", {}, {"applicationId": "app-999999",
+                                   "amount": 100_000,
+                                   "loanState": "submitted"}),
+        ("CreditCheck", {"applicationId": "app-999999"},
+         {"creditScore": 310}),
+        ("ManualReview", {"applicationId": "app-999999", "creditScore": 310},
+         {}),
+        ("Reject", {"creditScore": 310}, {"loanState": "rejected"}),
+        # ...and yet:
+        ("SignContract", {"applicationId": "app-999999",
+                          "loanState": "rejected"}, {}),
+        ("Disburse", {"applicationId": "app-999999", "amount": 100_000,
+                      "loanState": "rejected"},
+         {"loanState": "disbursed", "disbursedAmount": 100_000}),
+    ]
+    for activity, attrs_in, attrs_out in forged:
+        store.append(wid, activity, attrs_in=attrs_in, attrs_out=attrs_out)
+    store.close_instance(wid)
+    return store.snapshot(), wid
+
+
+def main() -> None:
+    clinic = WorkflowEngine(clinic_referral_workflow()).run(
+        SimulationConfig(instances=100, seed=7)
+    )
+    scan("clinic referrals", clinic, clinic_rules())
+
+    orders = WorkflowEngine(order_fulfillment_workflow()).run(
+        SimulationConfig(instances=100, seed=8)
+    )
+    scan("order fulfillment", orders, order_rules())
+
+    loans = WorkflowEngine(loan_approval_workflow()).run(
+        SimulationConfig(instances=100, seed=9)
+    )
+    scan("loan approvals (clean)", loans, loan_rules())
+
+    forged_log, forged_wid = inject_forged_loan(loans)
+    print(f"\n--- injecting a forged instance (wid={forged_wid}): "
+          f"rejected loan gets disbursed ---")
+    report = loan_rules().run(forged_log)
+    print(report.format())
+    caught = any(
+        forged_wid in finding.instance_ids
+        and finding.rule.name == "disburse-after-reject"
+        for finding in report.triggered
+    )
+    print(f"\nforged instance caught: {caught}")
+
+
+if __name__ == "__main__":
+    main()

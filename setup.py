@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so editable
+installs work in offline environments without the ``wheel`` package
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — incident-pattern queries over workflow logs.
+
+A complete, production-oriented implementation of the query language of
+Tang, Mackey & Su, *Querying Workflow Logs*: a formal log model, the
+four-operator incident-pattern algebra (consecutive ⊙, sequential ⊳,
+choice ⊗, parallel ⊕), two evaluation engines, a cost-based optimizer
+built on the paper's algebraic laws, a workflow-execution simulator that
+generates logs, log storage/serialization, ETL/SQL and CEP/automaton
+baselines, and an analytics layer.
+
+Quickstart
+----------
+>>> from repro import Log, Query
+>>> log = Log.from_traces([
+...     ["GetRefer", "CheckIn", "UpdateRefer", "SeeDoctor", "GetReimburse"],
+...     ["GetRefer", "CheckIn", "SeeDoctor"],
+... ], interleave=True)
+>>> Query("UpdateRefer -> GetReimburse").count(log)
+1
+"""
+
+from repro.core import (
+    END,
+    assignment,
+    is_incident,
+    ENGINES,
+    START,
+    Atomic,
+    BudgetExceededError,
+    Choice,
+    Consecutive,
+    EvaluationError,
+    Incident,
+    IncidentSet,
+    Log,
+    LogRecord,
+    LogValidationError,
+    OptimizerError,
+    Parallel,
+    Pattern,
+    PatternSyntaxError,
+    Query,
+    ReproError,
+    Sequential,
+    act,
+    choice,
+    consecutive,
+    neg,
+    parallel,
+    parse,
+    reference_incidents,
+    sequential,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "LogValidationError",
+    "PatternSyntaxError",
+    "EvaluationError",
+    "BudgetExceededError",
+    "OptimizerError",
+    "Incident",
+    "IncidentSet",
+    "reference_incidents",
+    "is_incident",
+    "assignment",
+    "Log",
+    "LogRecord",
+    "START",
+    "END",
+    "parse",
+    "Pattern",
+    "Atomic",
+    "Consecutive",
+    "Sequential",
+    "Choice",
+    "Parallel",
+    "act",
+    "neg",
+    "consecutive",
+    "sequential",
+    "choice",
+    "parallel",
+    "Query",
+    "ENGINES",
+]

@@ -1,0 +1,116 @@
+"""Grouping and counting over incident sets.
+
+The paper's motivating questions are aggregates over incidents — "how many
+students *every year* get referrals with balance > $5,000?".  Incident
+sets are plain collections, so aggregation is a library of small
+composable helpers rather than new language operators:
+
+* :func:`group_incidents` — bucket incidents by any key function;
+* :func:`count_by` — histogram of a key (e.g. an attribute value);
+* :func:`instance_counts` — incidents per workflow instance;
+* :func:`incident_table` — flatten incidents into rows for numpy/pandas-
+  style downstream processing.
+
+Key functions receive the :class:`~repro.core.incident.Incident`; the
+:func:`attr_of` helper builds keys that read an attribute off the record
+matching a given activity inside each incident.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Hashable, Iterable
+from typing import Any
+
+from repro.core.incident import Incident
+
+__all__ = [
+    "group_incidents",
+    "count_by",
+    "instance_counts",
+    "incident_table",
+    "attr_of",
+]
+
+
+def group_incidents(
+    incidents: Iterable[Incident],
+    key: Callable[[Incident], Hashable],
+) -> dict[Hashable, list[Incident]]:
+    """Bucket incidents by ``key(incident)``.
+
+    Incidents whose key function returns ``None`` are collected under the
+    ``None`` bucket (callers often drop it).
+    """
+    groups: dict[Hashable, list[Incident]] = {}
+    for incident in incidents:
+        groups.setdefault(key(incident), []).append(incident)
+    return groups
+
+
+def count_by(
+    incidents: Iterable[Incident],
+    key: Callable[[Incident], Hashable],
+) -> Counter:
+    """Histogram of ``key`` over the incidents."""
+    counts: Counter = Counter()
+    for incident in incidents:
+        counts[key(incident)] += 1
+    return counts
+
+
+def instance_counts(incidents: Iterable[Incident]) -> Counter:
+    """Number of incidents per workflow instance id."""
+    return count_by(incidents, lambda o: o.wid)
+
+
+def attr_of(
+    activity: str, attribute: str, *, scope: str = "any"
+) -> Callable[[Incident], Any]:
+    """A key function reading ``attribute`` off the incident's first record
+    of ``activity``.
+
+    ``scope`` selects the input map (``"in"``), the output map (``"out"``)
+    or either (``"any"``, output preferred).  Returns ``None`` when the
+    incident has no such record or the record lacks the attribute.
+
+    Example: count reimbursements by hospital::
+
+        counts = count_by(q.run(log), attr_of("GetRefer", "hospital"))
+    """
+    if scope not in ("in", "out", "any"):
+        raise ValueError("scope must be 'in', 'out' or 'any'")
+
+    def key(incident: Incident) -> Any:
+        for record in incident:
+            if record.activity != activity:
+                continue
+            if scope in ("out", "any") and attribute in record.attrs_out:
+                return record.attrs_out[attribute]
+            if scope in ("in", "any") and attribute in record.attrs_in:
+                return record.attrs_in[attribute]
+            return None
+        return None
+
+    return key
+
+
+def incident_table(incidents: Iterable[Incident]) -> list[dict[str, Any]]:
+    """Flatten incidents into row dicts for downstream tabular analysis.
+
+    One row per incident: ``wid``, ``first``, ``last``, ``size``,
+    ``activities`` (execution-ordered tuple) and ``lsns``.
+    """
+    rows = []
+    for incident in incidents:
+        rows.append(
+            {
+                "wid": incident.wid,
+                "first": incident.first,
+                "last": incident.last,
+                "size": len(incident),
+                "activities": incident.activities(),
+                "lsns": tuple(sorted(incident.lsns)),
+            }
+        )
+    return rows

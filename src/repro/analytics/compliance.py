@@ -1,0 +1,339 @@
+"""DECLARE-style compliance checking over workflow logs.
+
+Process-mining practice expresses conformance rules as *declarative
+constraint templates* (the DECLARE language: existence, response,
+precedence, ...).  Incident patterns are existential — they find
+*witnesses* — while DECLARE constraints are universal ("every A is
+eventually followed by B"), so the two compose naturally: **a constraint
+holds on an instance iff a violation-witness query finds nothing** (or,
+for the existential templates, iff a witness exists).
+
+This module implements the standard template catalogue on top of the
+library, documenting per template how it is decided:
+
+=====================  ===========================================================
+template               decision procedure
+=====================  ===========================================================
+``existence(A)``       witness query ``A`` per instance
+``absence(A)``         no witness of ``A``
+``exactly_once(A)``    witness of ``A`` but none of ``A ⊳ A``
+``init(A)``            first non-START record is A (positional check)
+``last(A)``            last non-END record is A (positional check)
+``response(A, B)``     no A after the last B (positional check over indices)
+``precedence(A, B)``   no B before the first A
+``succession(A, B)``   response ∧ precedence
+``not_succession``     no witness of ``A ⊳ B``
+``chain_response``     every A immediately followed by B (positional)
+``coexistence(A, B)``  witnesses of A and B, or neither
+``responded_existence``A present ⇒ B present
+=====================  ===========================================================
+
+Where a template reduces to a pure incident pattern the query engine is
+used; the universally-quantified residue uses the per-instance traces
+directly (the paper's algebra cannot express universal negation — this
+module documents that boundary precisely).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.model import Log, LogRecord
+from repro.core.parser import parse
+from repro.core.query import Query
+
+__all__ = [
+    "ConstraintResult",
+    "ComplianceReport",
+    "Constraint",
+    "existence",
+    "absence",
+    "exactly_once",
+    "init",
+    "last",
+    "response",
+    "precedence",
+    "succession",
+    "not_succession",
+    "chain_response",
+    "coexistence",
+    "responded_existence",
+    "check",
+]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One instantiated template.
+
+    ``checker`` maps an instance trace (sentinels included) to True/False;
+    ``via_pattern`` documents the incident pattern involved, when one is.
+    """
+
+    name: str
+    description: str
+    checker: object  # Callable[[Sequence[LogRecord]], bool]
+    via_pattern: str | None = None
+
+    def holds_on_trace(self, trace: Sequence[LogRecord]) -> bool:
+        return self.checker(trace)  # type: ignore[operator]
+
+
+@dataclass(frozen=True)
+class ConstraintResult:
+    """Outcome of one constraint over one log."""
+
+    constraint: Constraint
+    satisfied_instances: tuple[int, ...]
+    violated_instances: tuple[int, ...]
+
+    @property
+    def holds(self) -> bool:
+        return not self.violated_instances
+
+    @property
+    def support(self) -> float:
+        """Fraction of instances satisfying the constraint."""
+        total = len(self.satisfied_instances) + len(self.violated_instances)
+        if total == 0:
+            return 1.0
+        return len(self.satisfied_instances) / total
+
+
+@dataclass
+class ComplianceReport:
+    """Results of a constraint battery over one log."""
+
+    results: list[ConstraintResult] = field(default_factory=list)
+
+    @property
+    def violated(self) -> list[ConstraintResult]:
+        return [r for r in self.results if not r.holds]
+
+    def __bool__(self) -> bool:
+        return not self.violated
+
+    def format(self) -> str:
+        lines = []
+        for result in self.results:
+            mark = "OK  " if result.holds else "FAIL"
+            lines.append(
+                f"[{mark}] {result.constraint.name:<32} "
+                f"support={result.support:6.1%}"
+                + (
+                    ""
+                    if result.holds
+                    else f"  violated by {list(result.violated_instances)[:8]}"
+                )
+            )
+        return "\n".join(lines)
+
+
+def _body(trace: Sequence[LogRecord]) -> list[LogRecord]:
+    """Trace without START/END sentinels."""
+    return [r for r in trace if not r.is_sentinel]
+
+
+def _positions(trace: Sequence[LogRecord], activity: str) -> list[int]:
+    return [i for i, r in enumerate(trace) if r.activity == activity]
+
+
+# ---------------------------------------------------------------------------
+# Templates
+# ---------------------------------------------------------------------------
+
+def existence(activity: str) -> Constraint:
+    """``A`` occurs at least once."""
+    return Constraint(
+        name=f"existence({activity})",
+        description=f"{activity} occurs at least once",
+        checker=lambda trace: bool(_positions(trace, activity)),
+        via_pattern=activity,
+    )
+
+
+def absence(activity: str) -> Constraint:
+    """``A`` never occurs."""
+    return Constraint(
+        name=f"absence({activity})",
+        description=f"{activity} never occurs",
+        checker=lambda trace: not _positions(trace, activity),
+        via_pattern=f"(no witness of {activity})",
+    )
+
+
+def exactly_once(activity: str) -> Constraint:
+    """``A`` occurs exactly once (witness of A, no witness of A ⊳ A)."""
+    return Constraint(
+        name=f"exactly_once({activity})",
+        description=f"{activity} occurs exactly once",
+        checker=lambda trace: len(_positions(trace, activity)) == 1,
+        via_pattern=f"{activity} and not ({activity} -> {activity})",
+    )
+
+
+def init(activity: str) -> Constraint:
+    """The instance's first real activity is ``A``."""
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        body = _body(trace)
+        return bool(body) and body[0].activity == activity
+
+    return Constraint(
+        name=f"init({activity})",
+        description=f"the first activity is {activity}",
+        checker=checker,
+    )
+
+
+def last(activity: str) -> Constraint:
+    """The instance's final real activity is ``A`` (meaningful for
+    completed instances)."""
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        body = _body(trace)
+        return bool(body) and body[-1].activity == activity
+
+    return Constraint(
+        name=f"last({activity})",
+        description=f"the last activity is {activity}",
+        checker=checker,
+    )
+
+
+def response(first: str, then: str) -> Constraint:
+    """Every ``first`` is eventually followed by a ``then``."""
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        a_positions = _positions(trace, first)
+        b_positions = _positions(trace, then)
+        if not a_positions:
+            return True
+        return bool(b_positions) and b_positions[-1] > a_positions[-1]
+
+    return Constraint(
+        name=f"response({first}, {then})",
+        description=f"every {first} is eventually followed by {then}",
+        checker=checker,
+    )
+
+
+def precedence(first: str, then: str) -> Constraint:
+    """No ``then`` before the first ``first``."""
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        b_positions = _positions(trace, then)
+        if not b_positions:
+            return True
+        a_positions = _positions(trace, first)
+        return bool(a_positions) and a_positions[0] < b_positions[0]
+
+    return Constraint(
+        name=f"precedence({first}, {then})",
+        description=f"{then} only after a {first}",
+        checker=checker,
+    )
+
+
+def succession(first: str, then: str) -> Constraint:
+    """``response(first, then)`` and ``precedence(first, then)``."""
+    resp, prec = response(first, then), precedence(first, then)
+    return Constraint(
+        name=f"succession({first}, {then})",
+        description=f"{first} and {then} occur in matched succession",
+        checker=lambda trace: resp.holds_on_trace(trace)
+        and prec.holds_on_trace(trace),
+    )
+
+
+def not_succession(first: str, then: str) -> Constraint:
+    """``then`` never occurs after a ``first`` — the pure incident-pattern
+    template: it holds iff ``first ⊳ then`` has no witness."""
+    pattern_text = f"{first} -> {then}"
+    query = Query(parse(pattern_text), optimize=False)
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        a_positions = _positions(trace, first)
+        b_positions = _positions(trace, then)
+        return not (
+            a_positions and b_positions and b_positions[-1] > a_positions[0]
+        )
+
+    return Constraint(
+        name=f"not_succession({first}, {then})",
+        description=f"no {then} ever follows a {first}",
+        checker=checker,
+        via_pattern=pattern_text,
+    )
+
+
+def chain_response(first: str, then: str) -> Constraint:
+    """Every ``first`` is *immediately* followed by ``then``."""
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        for position in _positions(trace, first):
+            if (
+                position + 1 >= len(trace)
+                or trace[position + 1].activity != then
+            ):
+                return False
+        return True
+
+    return Constraint(
+        name=f"chain_response({first}, {then})",
+        description=f"every {first} is immediately followed by {then}",
+        checker=checker,
+        via_pattern=f"violation witness: {first} ; !{then}",
+    )
+
+
+def coexistence(first: str, then: str) -> Constraint:
+    """``first`` and ``then`` occur together or not at all."""
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        return bool(_positions(trace, first)) == bool(_positions(trace, then))
+
+    return Constraint(
+        name=f"coexistence({first}, {then})",
+        description=f"{first} and {then} co-occur",
+        checker=checker,
+    )
+
+
+def responded_existence(first: str, then: str) -> Constraint:
+    """If ``first`` occurs, ``then`` occurs (anywhere)."""
+
+    def checker(trace: Sequence[LogRecord]) -> bool:
+        return not _positions(trace, first) or bool(_positions(trace, then))
+
+    return Constraint(
+        name=f"responded_existence({first}, {then})",
+        description=f"{first} occurring implies {then} occurs",
+        checker=checker,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch checking
+# ---------------------------------------------------------------------------
+
+def check(log: Log, constraints: Iterable[Constraint]) -> ComplianceReport:
+    """Evaluate every constraint on every instance of ``log``."""
+    report = ComplianceReport()
+    for constraint in constraints:
+        satisfied: list[int] = []
+        violated: list[int] = []
+        for wid in log.wids:
+            if constraint.holds_on_trace(log.instance(wid)):
+                satisfied.append(wid)
+            else:
+                violated.append(wid)
+        report.results.append(
+            ConstraintResult(
+                constraint=constraint,
+                satisfied_instances=tuple(satisfied),
+                violated_instances=tuple(violated),
+            )
+        )
+    return report

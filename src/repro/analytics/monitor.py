@@ -1,0 +1,122 @@
+"""Live anomaly monitoring over an append-only record stream.
+
+Combines the anomaly rule library with the incremental evaluator: a
+:class:`LiveMonitor` watches records as a workflow engine emits them and
+raises :class:`Alert` objects the moment a rule's pattern completes —
+the "runtime execution monitoring" capability the paper says warehousing
+cannot provide.
+
+Example
+-------
+>>> from repro.analytics.anomaly import clinic_rules
+>>> from repro.core.model import LogRecord
+>>> monitor = LiveMonitor(clinic_rules())
+>>> for record in some_record_stream:          # doctest: +SKIP
+...     for alert in monitor.observe(record):
+...         page_the_auditor(alert)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.analytics.anomaly import AnomalyRule, RuleSet
+from repro.core.eval.incremental import IncrementalEvaluator
+from repro.core.incident import Incident
+from repro.core.model import LogRecord
+
+__all__ = ["Alert", "LiveMonitor"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule completion: the rule, the completing record and the
+    incident it completed."""
+
+    rule: AnomalyRule
+    record: LogRecord
+    incident: Incident
+
+    def format(self) -> str:
+        members = ", ".join(f"l{r.lsn}:{r.activity}" for r in self.incident)
+        return (
+            f"[{self.rule.severity.upper()}] {self.rule.name} "
+            f"completed at lsn={self.record.lsn} "
+            f"(wid={self.incident.wid}): {{{members}}}"
+        )
+
+
+class LiveMonitor:
+    """Evaluates a rule-set incrementally over an append-only stream.
+
+    Parameters
+    ----------
+    rules:
+        The rule-set to monitor.
+    max_incidents_per_rule:
+        Safety cap forwarded to each rule's incremental evaluator.
+    on_alert:
+        Optional callback invoked synchronously for every alert (in
+        addition to alerts being returned from :meth:`observe`).
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        *,
+        max_incidents_per_rule: int | None = 100_000,
+        on_alert: Callable[[Alert], None] | None = None,
+    ):
+        self.rules = rules
+        self.on_alert = on_alert
+        self._evaluators: list[tuple[AnomalyRule, IncrementalEvaluator]] = [
+            (
+                rule,
+                IncrementalEvaluator(
+                    rule.pattern, max_incidents=max_incidents_per_rule
+                ),
+            )
+            for rule in rules
+        ]
+        self._alerts: list[Alert] = []
+
+    def observe(self, record: LogRecord) -> list[Alert]:
+        """Feed one record; returns the alerts it triggers."""
+        new_alerts: list[Alert] = []
+        for rule, evaluator in self._evaluators:
+            for incident in evaluator.append(record):
+                alert = Alert(rule, record, incident)
+                new_alerts.append(alert)
+                if self.on_alert is not None:
+                    self.on_alert(alert)
+        self._alerts.extend(new_alerts)
+        return new_alerts
+
+    def observe_all(self, records: Iterable[LogRecord]) -> list[Alert]:
+        """Feed many records; returns all alerts raised."""
+        out: list[Alert] = []
+        for record in records:
+            out.extend(self.observe(record))
+        return out
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        """Every alert raised since construction."""
+        return tuple(self._alerts)
+
+    def alerts_for_rule(self, name: str) -> tuple[Alert, ...]:
+        return tuple(a for a in self._alerts if a.rule.name == name)
+
+    def offending_instances(self) -> dict[str, tuple[int, ...]]:
+        """Per rule name, the instances with at least one alert."""
+        out: dict[str, set[int]] = {}
+        for alert in self._alerts:
+            out.setdefault(alert.rule.name, set()).add(alert.incident.wid)
+        return {name: tuple(sorted(wids)) for name, wids in out.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveMonitor({len(self._evaluators)} rules, "
+            f"{len(self._alerts)} alerts)"
+        )

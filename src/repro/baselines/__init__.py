@@ -1,0 +1,21 @@
+"""Comparator systems.
+
+* :mod:`repro.baselines.sql` — the ETL/OLAP route of the paper's Figure 1:
+  records are extracted into a relational warehouse (in-memory SQLite) and
+  incident patterns are compiled into self-join SQL;
+* :mod:`repro.baselines.automaton` — a CEP-style sequence matcher in the
+  spirit of the ZStream/SASE line of work the paper's Related Work
+  discusses: NFA existence checks and chain-based match enumeration for
+  the ⊙/⊳/⊗ fragment.
+"""
+
+from repro.baselines.automaton import AutomatonBaseline, ChainMatcher
+from repro.baselines.sql import SqlBaseline, SqlWarehouse, compile_to_sql
+
+__all__ = [
+    "SqlWarehouse",
+    "SqlBaseline",
+    "compile_to_sql",
+    "AutomatonBaseline",
+    "ChainMatcher",
+]

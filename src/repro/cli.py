@@ -1,0 +1,357 @@
+"""Command-line interface: ``repro-logs`` (or ``python -m repro``).
+
+Subcommands
+-----------
+* ``query``     — evaluate an incident pattern over a log file;
+* ``stats``     — descriptive statistics of a log;
+* ``validate``  — Definition 2 well-formedness report (optional repair);
+* ``generate``  — simulate a workflow model (or synthetic noise) to a log;
+* ``anomalies`` — run a bundled anomaly rule-set over a log;
+* ``monitor``   — replay a log record by record through the streaming
+  evaluator, printing each alert at the record that completes it;
+* ``convert``   — transcode between jsonl / csv / xes.
+
+Log formats are inferred from file extensions (``.jsonl``, ``.csv``,
+``.xes``/``.xml``); ``-`` reads from stdin / writes to stdout as JSONL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analytics.anomaly import clinic_rules, loan_rules, order_rules
+from repro.core.errors import ReproError
+from repro.core.eval.tree import render_tree
+from repro.core.model import Log
+from repro.core.parser import parse
+from repro.core.query import ENGINES, Query
+from repro.generator.synthetic import SyntheticLogConfig, generate_log
+from repro.logstore import (
+    read_csv,
+    read_jsonl,
+    read_xes,
+    repair_log,
+    summarize,
+    validation_report,
+    write_csv,
+    write_jsonl,
+    write_xes,
+)
+from repro.workflow.engine import SimulationConfig, WorkflowEngine
+from repro.workflow.models import (
+    clinic_referral_workflow,
+    loan_approval_workflow,
+    order_fulfillment_workflow,
+)
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = {
+    "clinic": clinic_referral_workflow,
+    "order": order_fulfillment_workflow,
+    "loan": loan_approval_workflow,
+}
+
+_RULESETS = {
+    "clinic": clinic_rules,
+    "order": order_rules,
+    "loan": loan_rules,
+}
+
+
+def _load_log(path: str, *, validate: bool = True) -> Log:
+    if path == "-":
+        return read_jsonl(sys.stdin, validate=validate)
+    suffix = Path(path).suffix.lower()
+    if suffix == ".jsonl":
+        return read_jsonl(path, validate=validate)
+    if suffix == ".csv":
+        return read_csv(path, validate=validate)
+    if suffix in (".xes", ".xml"):
+        return read_xes(path, validate=validate)
+    raise ReproError(
+        f"cannot infer log format from {path!r}; use .jsonl, .csv or .xes"
+    )
+
+
+def _save_log(log: Log, path: str) -> None:
+    if path == "-":
+        write_jsonl(log, sys.stdout)
+        return
+    suffix = Path(path).suffix.lower()
+    if suffix == ".jsonl":
+        write_jsonl(log, path)
+    elif suffix == ".csv":
+        write_csv(log, path)
+    elif suffix in (".xes", ".xml"):
+        write_xes(log, path)
+    else:
+        raise ReproError(
+            f"cannot infer log format from {path!r}; use .jsonl, .csv or .xes"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for the test-suite)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-logs",
+        description="Incident-pattern queries over workflow logs",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="evaluate an incident pattern")
+    query.add_argument("--log", required=True, help="log file (.jsonl/.csv/.xes)")
+    query.add_argument("--pattern", required=True, help='e.g. "A -> (B | C)"')
+    query.add_argument(
+        "--engine", choices=sorted(ENGINES), default="indexed", help="engine"
+    )
+    query.add_argument(
+        "--no-optimize", action="store_true", help="skip the query optimizer"
+    )
+    query.add_argument(
+        "--mode",
+        choices=("incidents", "count", "exists", "instances"),
+        default="incidents",
+        help="what to print",
+    )
+    query.add_argument(
+        "--limit", type=int, default=20, help="max incidents to print"
+    )
+    query.add_argument(
+        "--explain", action="store_true", help="print the chosen plan"
+    )
+    query.add_argument(
+        "--max-incidents",
+        type=int,
+        default=None,
+        help="abort if an incident set exceeds this size",
+    )
+
+    stats = commands.add_parser("stats", help="log statistics")
+    stats.add_argument("--log", required=True)
+
+    validate = commands.add_parser("validate", help="well-formedness report")
+    validate.add_argument("--log", required=True)
+    validate.add_argument(
+        "--repair", metavar="OUT", help="write a repaired log to OUT"
+    )
+
+    generate = commands.add_parser("generate", help="simulate a workflow model")
+    generate.add_argument(
+        "--model",
+        choices=(*sorted(_MODELS), "synthetic"),
+        default="clinic",
+    )
+    generate.add_argument("--instances", type=int, default=20)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--stagger", type=int, default=0,
+                          help="steps between instance launches")
+    generate.add_argument("--out", required=True, help="output file or -")
+
+    anomalies = commands.add_parser("anomalies", help="run anomaly rules")
+    anomalies.add_argument("--log", required=True)
+    anomalies.add_argument(
+        "--rules", choices=sorted(_RULESETS), default="clinic"
+    )
+
+    monitor = commands.add_parser(
+        "monitor", help="stream a log through the live rule monitor"
+    )
+    monitor.add_argument("--log", required=True)
+    monitor.add_argument(
+        "--rules", choices=sorted(_RULESETS), default="clinic"
+    )
+    monitor.add_argument(
+        "--quiet", action="store_true",
+        help="print only the final per-rule summary",
+    )
+
+    show = commands.add_parser(
+        "show", help="render a log (table, instance timeline, swimlanes, dot)"
+    )
+    show.add_argument("--log", required=True)
+    show.add_argument(
+        "--view",
+        choices=("table", "instance", "swimlanes", "dot"),
+        default="table",
+    )
+    show.add_argument("--wid", type=int, default=None,
+                      help="instance id (view=instance)")
+    show.add_argument("--pattern", default=None,
+                      help="highlight this pattern's incidents (view=instance)")
+    show.add_argument("--limit", type=int, default=25,
+                      help="rows to print (view=table)")
+    show.add_argument("--attrs", action="store_true",
+                      help="include attribute maps (view=table)")
+
+    convert = commands.add_parser("convert", help="transcode a log file")
+    convert.add_argument("--src", dest="source", required=True)
+    convert.add_argument("--dst", dest="target", required=True)
+
+    return parser
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    log = _load_log(args.log)
+    query = Query(
+        parse(args.pattern),
+        engine=args.engine,
+        optimize=not args.no_optimize,
+        max_incidents=args.max_incidents,
+    )
+    if args.explain:
+        print(query.explain(log))
+        print()
+    if args.mode == "exists":
+        print("yes" if query.exists(log) else "no")
+        return 0
+    if args.mode == "count":
+        print(query.count(log))
+        return 0
+    if args.mode == "instances":
+        print(" ".join(map(str, query.matching_instances(log))))
+        return 0
+    incidents = query.run(log)
+    print(f"{len(incidents)} incident(s)")
+    for i, incident in enumerate(incidents):
+        if i >= args.limit:
+            print(f"... ({len(incidents) - args.limit} more)")
+            break
+        members = ", ".join(
+            f"l{r.lsn}:{r.activity}@{r.is_lsn}" for r in incident
+        )
+        print(f"  wid={incident.wid}  {{{members}}}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    print(summarize(_load_log(args.log)).format())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    log = _load_log(args.log, validate=False)
+    issues = validation_report(log.records)
+    if not issues:
+        print("log is well-formed (Definition 2)")
+        return 0
+    for issue in issues:
+        print(str(issue))
+    if args.repair:
+        repaired, dropped = repair_log(log.records)
+        _save_log(repaired, args.repair)
+        print(
+            f"repaired log written to {args.repair} "
+            f"({len(dropped)} record(s) dropped)"
+        )
+        return 0
+    return 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model == "synthetic":
+        log = generate_log(
+            SyntheticLogConfig(instances=args.instances, seed=args.seed)
+        )
+    else:
+        engine = WorkflowEngine(_MODELS[args.model]())
+        log = engine.run(
+            SimulationConfig(
+                instances=args.instances,
+                seed=args.seed,
+                arrival_stagger=args.stagger,
+            )
+        )
+    _save_log(log, args.out)
+    if args.out != "-":
+        print(f"wrote {len(log)} records / {len(log.wids)} instances to {args.out}")
+    return 0
+
+
+def _cmd_anomalies(args: argparse.Namespace) -> int:
+    log = _load_log(args.log)
+    report = _RULESETS[args.rules]().run(log)
+    print(report.format())
+    return 1 if report else 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.analytics.monitor import LiveMonitor
+
+    log = _load_log(args.log)
+    monitor = LiveMonitor(_RULESETS[args.rules]())
+    for record in log:
+        for alert in monitor.observe(record):
+            if not args.quiet:
+                print(alert.format())
+    offending = monitor.offending_instances()
+    print(f"--- {len(monitor.alerts)} alert(s) over {len(log)} records ---")
+    for name, wids in sorted(offending.items()):
+        shown = ", ".join(map(str, wids[:10]))
+        print(f"  {name}: instances {shown}"
+              + (f" (+{len(wids) - 10} more)" if len(wids) > 10 else ""))
+    return 1 if monitor.alerts else 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.logstore.render import (
+        dfg_to_dot,
+        render_instance,
+        render_log_table,
+        render_swimlanes,
+    )
+
+    log = _load_log(args.log)
+    if args.view == "table":
+        print(render_log_table(log, limit=args.limit,
+                               with_attributes=args.attrs))
+    elif args.view == "swimlanes":
+        print(render_swimlanes(log))
+    elif args.view == "dot":
+        print(dfg_to_dot(log), end="")
+    else:
+        wid = args.wid if args.wid is not None else log.wids[0]
+        incidents = ()
+        if args.pattern:
+            incidents = Query(parse(args.pattern)).run(log)
+        print(f"instance {wid}:")
+        print(render_instance(log, wid, incidents=incidents))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    _save_log(_load_log(args.source), args.target)
+    if args.target != "-":
+        print(f"converted {args.source} -> {args.target}")
+    return 0
+
+
+_HANDLERS = {
+    "query": _cmd_query,
+    "stats": _cmd_stats,
+    "validate": _cmd_validate,
+    "generate": _cmd_generate,
+    "anomalies": _cmd_anomalies,
+    "monitor": _cmd_monitor,
+    "show": _cmd_show,
+    "convert": _cmd_convert,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Core of the reproduction: the paper's formal model, pattern algebra,
+semantics, parser, evaluation engines, algebraic laws and optimizer."""
+
+from repro.core.errors import (
+    BudgetExceededError,
+    EvaluationError,
+    LogValidationError,
+    OptimizerError,
+    PatternSyntaxError,
+    ReproError,
+)
+from repro.core.check import assignment, is_incident
+from repro.core.incident import Incident, IncidentSet, reference_incidents
+from repro.core.model import END, START, Log, LogRecord
+from repro.core.parser import parse
+from repro.core.pattern import (
+    Atomic,
+    Choice,
+    Consecutive,
+    Parallel,
+    Pattern,
+    Sequential,
+    act,
+    choice,
+    consecutive,
+    neg,
+    parallel,
+    sequential,
+)
+from repro.core.query import ENGINES, Query
+
+__all__ = [
+    "ReproError",
+    "LogValidationError",
+    "PatternSyntaxError",
+    "EvaluationError",
+    "BudgetExceededError",
+    "OptimizerError",
+    "Incident",
+    "IncidentSet",
+    "reference_incidents",
+    "is_incident",
+    "assignment",
+    "Log",
+    "LogRecord",
+    "START",
+    "END",
+    "parse",
+    "Pattern",
+    "Atomic",
+    "Consecutive",
+    "Sequential",
+    "Choice",
+    "Parallel",
+    "act",
+    "neg",
+    "consecutive",
+    "sequential",
+    "choice",
+    "parallel",
+    "Query",
+    "ENGINES",
+]

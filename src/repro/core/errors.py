@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-hierarchies
+mirror the subsystems: log well-formedness (:class:`LogValidationError`),
+query-text parsing (:class:`PatternSyntaxError`), evaluation
+(:class:`EvaluationError`), and the optimizer (:class:`OptimizerError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LogValidationError(ReproError):
+    """A log (or log record) violates the well-formedness conditions of
+    Definition 2 in the paper.
+
+    Attributes
+    ----------
+    condition:
+        Which numbered condition of Definition 2 was violated (1-4), or
+        ``0`` for structural problems outside the definition (e.g. a
+        duplicated log sequence number type error).
+    lsn:
+        The log sequence number of the offending record, when known.
+    """
+
+    def __init__(self, message: str, *, condition: int = 0, lsn: int | None = None):
+        super().__init__(message)
+        self.condition = condition
+        self.lsn = lsn
+
+
+class PatternSyntaxError(ReproError):
+    """The textual query could not be parsed into an incident pattern.
+
+    Attributes
+    ----------
+    text:
+        The full query text.
+    position:
+        0-based character offset at which the error was detected, or
+        ``None`` when the error is not tied to a position (e.g. an
+        unexpected end of input).
+    """
+
+    def __init__(self, message: str, *, text: str = "", position: int | None = None):
+        if position is not None and text:
+            pointer = " " * position + "^"
+            message = f"{message}\n  {text}\n  {pointer}"
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """Evaluating a pattern against a log failed."""
+
+
+class BudgetExceededError(EvaluationError):
+    """An evaluation exceeded a user-supplied resource budget.
+
+    Incident sets can be exponential in the pattern size (Theorem 1), so
+    engines accept an optional cap on the number of incidents materialised;
+    exceeding it raises this error rather than exhausting memory.
+    """
+
+    def __init__(self, message: str, *, limit: int):
+        super().__init__(message)
+        self.limit = limit
+
+
+class OptimizerError(ReproError):
+    """The query optimizer produced or detected an inconsistent plan."""
+
+
+class WorkflowDefinitionError(ReproError):
+    """A workflow specification is structurally invalid (unknown node,
+    unreachable activity, gateway fan-in/out mismatch, ...)."""
+
+
+class WorkflowRuntimeError(ReproError):
+    """A workflow instance failed during simulated execution."""
+
+
+class LogStoreError(ReproError):
+    """A log store operation failed (I/O, format, or index consistency)."""

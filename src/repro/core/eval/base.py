@@ -1,0 +1,85 @@
+"""Engine interface shared by all pattern-evaluation strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.errors import BudgetExceededError
+from repro.core.incident import IncidentSet
+from repro.core.model import Log
+from repro.core.pattern import Pattern
+
+__all__ = ["Engine", "EvaluationStats"]
+
+
+@dataclass
+class EvaluationStats:
+    """Counters collected during one evaluation, for `explain` output and
+    for the benchmark harness.
+
+    Attributes
+    ----------
+    operator_evals:
+        Number of binary-operator node evaluations performed.
+    pairs_examined:
+        Number of (o1, o2) incident pairs inspected across all operator
+        evaluations — the paper's ``n1*n2`` cost driver (Lemma 1).
+    incidents_produced:
+        Total incidents materialised, including intermediates.
+    """
+
+    operator_evals: int = 0
+    pairs_examined: int = 0
+    incidents_produced: int = 0
+    per_operator: dict[str, int] = field(default_factory=dict)
+
+    def note_operator(self, symbol: str) -> None:
+        self.operator_evals += 1
+        self.per_operator[symbol] = self.per_operator.get(symbol, 0) + 1
+
+
+class Engine(ABC):
+    """Evaluates incident patterns over logs.
+
+    Parameters
+    ----------
+    max_incidents:
+        Optional safety cap: if any intermediate or final incident set
+        exceeds this size, :class:`~repro.core.errors.BudgetExceededError`
+        is raised.  Incident sets can be exponential in pattern size
+        (Theorem 1), so long-running services should always set a cap.
+    """
+
+    name = "abstract"
+
+    def __init__(self, *, max_incidents: int | None = None):
+        self.max_incidents = max_incidents
+        self.last_stats: EvaluationStats | None = None
+
+    @abstractmethod
+    def evaluate(self, log: Log, pattern: Pattern) -> IncidentSet:
+        """Compute the full incident set ``incL(pattern)``."""
+
+    def exists(self, log: Log, pattern: Pattern) -> bool:
+        """Whether at least one incident of ``pattern`` occurs in ``log``.
+
+        Subclasses may override with short-circuit strategies; the default
+        materialises the full set.
+        """
+        return bool(self.evaluate(log, pattern))
+
+    def count(self, log: Log, pattern: Pattern) -> int:
+        """Number of incidents of ``pattern`` in ``log``."""
+        return len(self.evaluate(log, pattern))
+
+    def _check_budget(self, size: int) -> None:
+        if self.max_incidents is not None and size > self.max_incidents:
+            raise BudgetExceededError(
+                f"incident set exceeded the cap of {self.max_incidents} "
+                f"(reached {size}); raise max_incidents or refine the pattern",
+                limit=self.max_incidents,
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_incidents={self.max_incidents})"

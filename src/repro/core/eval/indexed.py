@@ -1,0 +1,264 @@
+"""Optimized pattern-evaluation engine.
+
+The paper's Algorithm 1 inspects every pair of sub-incidents for every
+operator.  This engine keeps each intermediate incident set sorted by
+``first`` (per workflow instance) and exploits that order:
+
+* **sequential** ``p1 ⊳ p2`` — for each left incident, the qualifying right
+  incidents form a suffix of the ``first``-sorted right list; the suffix
+  boundary is found by binary search, so no failing pair is ever examined;
+* **consecutive** ``p1 ⊙ p2`` — right incidents are hashed by ``first`` and
+  each left incident probes ``last+1`` (a hash join on the adjacency key);
+* **parallel** ``p1 ⊕ p2`` — pairs whose is-lsn spans do not overlap are
+  disjoint by construction, so the record-level disjointness test runs only
+  for span-overlapping pairs;
+* **choice** — a hash-set union.
+
+The engine also provides a short-circuit :meth:`IndexedEngine.exists` for
+patterns built from atoms, ``⊳`` and ``⊗`` only: a greedy earliest-match
+scan over each instance trace, linear in the instance length, that never
+materialises incident sets.
+
+Output sizes are unchanged — the optimizations cut the *search*, not the
+result (which Lemma 1 lower-bounds at ``n1·n2`` in the worst case).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.core.eval.base import Engine, EvaluationStats
+from repro.core.incident import Incident, IncidentSet
+from repro.core.model import Log, LogRecord
+from repro.core.pattern import (
+    Atomic,
+    BinaryPattern,
+    Choice,
+    Consecutive,
+    Parallel,
+    Pattern,
+    Sequential,
+)
+
+__all__ = ["IndexedEngine"]
+
+
+def _sorted_by_first(incidents: Sequence[Incident]) -> list[Incident]:
+    return sorted(incidents, key=lambda o: (o.first, o.last))
+
+
+class IndexedEngine(Engine):
+    """Sort/hash-join evaluation of incident patterns (see module docs)."""
+
+    name = "indexed"
+
+    def evaluate(self, log: Log, pattern: Pattern) -> IncidentSet:
+        stats = EvaluationStats()
+        out: list[Incident] = []
+        for wid in log.wids:
+            out.extend(self._eval_node(log, wid, pattern, stats))
+        self._check_budget(len(out))
+        stats.incidents_produced += len(out)
+        self.last_stats = stats
+        return IncidentSet(out)
+
+    def count(self, log: Log, pattern: Pattern) -> int:
+        """Number of incidents; uses the output-free counting DP
+        (:mod:`repro.core.eval.counting`) for ⊙/⊳ chains of leaves, where
+        the incident set may be quadratic or worse in the log size."""
+        from repro.core.eval.counting import count_incidents, supports_counting
+
+        if supports_counting(pattern):
+            return count_incidents(log, pattern)
+        return len(self.evaluate(log, pattern))
+
+    def exists(self, log: Log, pattern: Pattern) -> bool:
+        """Short-circuit existence check.
+
+        For patterns whose operators are only ``⊳`` and ``⊗``, a greedy
+        earliest-completion scan decides existence in time linear in each
+        instance trace.  Other patterns fall back to full evaluation, but
+        instance by instance so a hit in an early instance stops the scan.
+        """
+        if _greedy_safe(pattern):
+            return any(
+                _earliest_end(log.instance(wid), pattern, 1) is not None
+                for wid in log.wids
+            )
+        stats = EvaluationStats()
+        for wid in log.wids:
+            if self._eval_node(log, wid, pattern, stats):
+                self.last_stats = stats
+                return True
+        self.last_stats = stats
+        return False
+
+    # -- node evaluation ---------------------------------------------------
+
+    def _eval_node(
+        self, log: Log, wid: int, pattern: Pattern, stats: EvaluationStats
+    ) -> list[Incident]:
+        """Incidents of ``pattern`` within instance ``wid``, sorted by
+        ``first``."""
+        if isinstance(pattern, Atomic):
+            result = self._eval_atomic(log, wid, pattern)
+        else:
+            assert isinstance(pattern, BinaryPattern)
+            left = self._eval_node(log, wid, pattern.left, stats)
+            right = self._eval_node(log, wid, pattern.right, stats)
+            stats.note_operator(pattern.symbol)
+            if isinstance(pattern, Sequential):
+                result = self._join_sequential(
+                    left, right, stats, bound=getattr(pattern, "bound", None)
+                )
+            elif isinstance(pattern, Consecutive):
+                result = self._join_consecutive(left, right, stats)
+            elif isinstance(pattern, Parallel):
+                result = self._join_parallel(left, right, stats)
+            else:
+                result = self._union_choice(left, right, stats)
+        self._check_budget(len(result))
+        stats.incidents_produced += len(result)
+        return result
+
+    def _eval_atomic(self, log: Log, wid: int, pattern: Atomic) -> list[Incident]:
+        # instance() is is-lsn ordered, so the result is first-sorted;
+        # matches() dispatches to leaf subclasses (attribute guards, ...).
+        return [Incident([r]) for r in log.instance(wid) if pattern.matches(r)]
+
+    def _join_sequential(
+        self,
+        left: list[Incident],
+        right: list[Incident],
+        stats: EvaluationStats,
+        *,
+        bound: int | None = None,
+    ) -> list[Incident]:
+        if not left or not right:
+            return []
+        right = _sorted_by_first(right)
+        firsts = [o.first for o in right]
+        out: list[Incident] = []
+        seen: set[Incident] = set()
+        for o1 in left:
+            # qualifying right incidents (first > o1.last, and within the
+            # window bound if one applies) form a contiguous slice of the
+            # first-sorted right list
+            start = bisect_right(firsts, o1.last)
+            stop = (
+                len(right) if bound is None else bisect_right(firsts, o1.last + bound)
+            )
+            for o2 in right[start:stop]:
+                stats.pairs_examined += 1
+                union = o1.union(o2)
+                if union not in seen:
+                    seen.add(union)
+                    out.append(union)
+        return _sorted_by_first(out)
+
+    def _join_consecutive(
+        self,
+        left: list[Incident],
+        right: list[Incident],
+        stats: EvaluationStats,
+    ) -> list[Incident]:
+        if not left or not right:
+            return []
+        by_first: dict[int, list[Incident]] = {}
+        for o2 in right:
+            by_first.setdefault(o2.first, []).append(o2)
+        out: list[Incident] = []
+        seen: set[Incident] = set()
+        for o1 in left:
+            for o2 in by_first.get(o1.last + 1, ()):
+                stats.pairs_examined += 1
+                union = o1.union(o2)
+                if union not in seen:
+                    seen.add(union)
+                    out.append(union)
+        return _sorted_by_first(out)
+
+    def _join_parallel(
+        self,
+        left: list[Incident],
+        right: list[Incident],
+        stats: EvaluationStats,
+    ) -> list[Incident]:
+        if not left or not right:
+            return []
+        out: list[Incident] = []
+        seen: set[Incident] = set()
+        for o1 in left:
+            for o2 in right:
+                stats.pairs_examined += 1
+                # span-based quick accept: non-overlapping is-lsn spans
+                # cannot share records.
+                if o1.last < o2.first or o2.last < o1.first or o1.disjoint(o2):
+                    union = o1.union(o2)
+                    if union not in seen:
+                        seen.add(union)
+                        out.append(union)
+        return _sorted_by_first(out)
+
+    def _union_choice(
+        self,
+        left: list[Incident],
+        right: list[Incident],
+        stats: EvaluationStats,
+    ) -> list[Incident]:
+        stats.pairs_examined += len(left) + len(right)
+        seen: set[Incident] = set(left)
+        merged = list(left)
+        merged.extend(o for o in right if o not in seen)
+        return _sorted_by_first(merged)
+
+
+# ---------------------------------------------------------------------------
+# Greedy existence check for {atom, ⊳, ⊗} patterns.
+# ---------------------------------------------------------------------------
+
+def _greedy_safe(pattern: Pattern) -> bool:
+    """Whether the greedy earliest-completion scan decides existence for
+    ``pattern``.  Sound for atoms, ``⊳`` and ``⊗``: the earliest completion
+    of ``p1`` never rules out a later completion that greedy would need
+    (matches are unconstrained suffix-ward).  ``⊙`` (exact adjacency) and
+    ``⊕`` (record disjointness) break that dominance argument."""
+    if isinstance(pattern, Atomic):
+        return True
+    # note: *subclasses* of Sequential (windowed ⊳) are excluded — an upper
+    # window bound breaks the earliest-completion dominance too.
+    if type(pattern) is Sequential or isinstance(pattern, Choice):
+        return _greedy_safe(pattern.left) and _greedy_safe(pattern.right)
+    return False
+
+
+def _earliest_end(
+    trace: Sequence[LogRecord], pattern: Pattern, start: int
+) -> int | None:
+    """Smallest ``last`` over incidents of ``pattern`` inside ``trace``
+    whose ``first`` is >= ``start`` (is-lsn positions), or None.
+
+    ``trace`` is one instance's records in is-lsn order; position ``i`` in
+    the trace has ``is_lsn == i + 1``.
+    """
+    if isinstance(pattern, Atomic):
+        for record in trace[start - 1 :]:
+            if pattern.matches(record):
+                return record.is_lsn
+        return None
+    if isinstance(pattern, Choice):
+        ends = [
+            e
+            for e in (
+                _earliest_end(trace, pattern.left, start),
+                _earliest_end(trace, pattern.right, start),
+            )
+            if e is not None
+        ]
+        return min(ends) if ends else None
+    assert isinstance(pattern, Sequential)
+    left_end = _earliest_end(trace, pattern.left, start)
+    if left_end is None:
+        return None
+    return _earliest_end(trace, pattern.right, left_end + 1)

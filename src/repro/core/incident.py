@@ -1,0 +1,247 @@
+"""Incident instances and incident sets (Definition 4 of the paper).
+
+An *incident* (instance) of a pattern in a log is a set of log records —
+all from one workflow instance — that jointly satisfy the pattern.  Each
+incident carries the three functions the paper defines on incidents:
+
+* ``first(o)`` — smallest relevant instance-specific sequence number,
+* ``last(o)``  — largest relevant instance-specific sequence number,
+* ``wid(o)``   — the workflow instance the incident belongs to.
+
+Incident identity is the *set of records* (the paper's ``incL(p)`` is a set
+of sets), so two incidents with the same records compare and hash equal even
+if they were derived through different sub-patterns.  ``first``/``last`` are
+derived bookkeeping, not identity.
+
+This module also contains :func:`reference_incidents`, a direct, executable
+transcription of Definition 4 used as the ground-truth oracle in tests.  It
+is intentionally naive (it recurses on the definition with no indexing) and
+should not be used on large logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from functools import total_ordering
+
+from repro.core.model import Log, LogRecord
+from repro.core.pattern import (
+    Atomic,
+    Choice,
+    Consecutive,
+    Parallel,
+    Pattern,
+    Sequential,
+)
+
+__all__ = ["Incident", "IncidentSet", "reference_incidents"]
+
+
+@total_ordering
+class Incident:
+    """A set of log records forming one match of a pattern (Definition 4).
+
+    Parameters
+    ----------
+    records:
+        The member log records.  They must all belong to one workflow
+        instance; this is asserted at construction time.
+    first, last:
+        The paper's ``first(o)``/``last(o)`` values.  For every operator in
+        Definition 4 these coincide with the min/max instance-specific
+        sequence number of the member records, so they are computed rather
+        than stored per-operator.  (A short induction on Definition 4 shows
+        the recursive definitions always reduce to min/max.)
+
+    Examples
+    --------
+    >>> from repro.core.model import LogRecord
+    >>> a = LogRecord(lsn=3, wid=1, is_lsn=2, activity="GetRefer")
+    >>> b = LogRecord(lsn=4, wid=1, is_lsn=3, activity="CheckIn")
+    >>> o = Incident([a, b])
+    >>> (o.first, o.last, o.wid)
+    (2, 3, 1)
+    """
+
+    __slots__ = ("_records", "_key", "first", "last", "wid")
+
+    def __init__(self, records: Iterable[LogRecord]):
+        recs = sorted(records, key=lambda r: r.is_lsn)
+        if not recs:
+            raise ValueError("an incident must contain at least one log record")
+        wid = recs[0].wid
+        for rec in recs:
+            if rec.wid != wid:
+                raise ValueError(
+                    "all records of an incident must share one workflow instance; "
+                    f"got wids {wid} and {rec.wid}"
+                )
+        self._records: tuple[LogRecord, ...] = tuple(recs)
+        self._key: frozenset[int] = frozenset(r.lsn for r in recs)
+        self.first: int = recs[0].is_lsn
+        self.last: int = recs[-1].is_lsn
+        self.wid: int = wid
+
+    # -- set-like behaviour ---------------------------------------------
+
+    @property
+    def records(self) -> tuple[LogRecord, ...]:
+        """Member records sorted by instance-specific sequence number."""
+        return self._records
+
+    @property
+    def lsns(self) -> frozenset[int]:
+        """Identity key: the set of global log sequence numbers."""
+        return self._key
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __contains__(self, record: object) -> bool:
+        return isinstance(record, LogRecord) and record.lsn in self._key
+
+    def disjoint(self, other: "Incident") -> bool:
+        """Whether the two incidents share no log records (used by ``⊕``)."""
+        return self._key.isdisjoint(other._key)
+
+    def union(self, other: "Incident") -> "Incident":
+        """Set union of two incidents (must be in the same instance)."""
+        if self.wid != other.wid:
+            raise ValueError(
+                f"cannot union incidents of instances {self.wid} and {other.wid}"
+            )
+        merged: dict[int, LogRecord] = {r.lsn: r for r in self._records}
+        merged.update((r.lsn, r) for r in other._records)
+        return Incident(merged.values())
+
+    # -- identity --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Incident):
+            return NotImplemented
+        return self._key == other._key
+
+    def __lt__(self, other: "Incident") -> bool:
+        """Incidents sort by (wid, first, last, key) — the ordering the
+        evaluation algorithms rely on."""
+        if not isinstance(other, Incident):
+            return NotImplemented
+        return (self.wid, self.first, self.last, sorted(self._key)) < (
+            other.wid,
+            other.first,
+            other.last,
+            sorted(other._key),
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        members = ",".join(f"l{r.lsn}" for r in self._records)
+        return f"Incident(wid={self.wid}, first={self.first}, last={self.last}, {{{members}}})"
+
+    def activities(self) -> tuple[str, ...]:
+        """Activity names of the member records, in execution order."""
+        return tuple(r.activity for r in self._records)
+
+
+class IncidentSet:
+    """The incident set ``incL(p)`` of a pattern ``p`` on a log ``L``.
+
+    Behaves as an immutable set of :class:`Incident` with convenience
+    accessors; iteration is in sorted ``(wid, first, last)`` order, the
+    ordering the paper's operator-evaluation algorithms assume.
+    """
+
+    __slots__ = ("_incidents",)
+
+    def __init__(self, incidents: Iterable[Incident] = ()):
+        self._incidents: tuple[Incident, ...] = tuple(sorted(set(incidents)))
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self._incidents)
+
+    def __contains__(self, incident: object) -> bool:
+        return isinstance(incident, Incident) and incident in set(self._incidents)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IncidentSet):
+            return self._incidents == other._incidents
+        if isinstance(other, (set, frozenset)):
+            return set(self._incidents) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._incidents)
+
+    def __repr__(self) -> str:
+        return f"IncidentSet({len(self._incidents)} incidents)"
+
+    def __bool__(self) -> bool:
+        return bool(self._incidents)
+
+    def to_set(self) -> frozenset[Incident]:
+        """The underlying mathematical set."""
+        return frozenset(self._incidents)
+
+    def by_wid(self) -> dict[int, list[Incident]]:
+        """Incidents grouped per workflow instance."""
+        grouped: dict[int, list[Incident]] = {}
+        for incident in self._incidents:
+            grouped.setdefault(incident.wid, []).append(incident)
+        return grouped
+
+    def wids(self) -> tuple[int, ...]:
+        """Instance ids that have at least one incident."""
+        return tuple(sorted({o.wid for o in self._incidents}))
+
+    def lsn_sets(self) -> frozenset[frozenset[int]]:
+        """Identity view: the set of record-lsn sets (handy in tests)."""
+        return frozenset(o.lsns for o in self._incidents)
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics: a literal transcription of Definition 4.
+# ---------------------------------------------------------------------------
+
+def reference_incidents(log: Log, pattern: Pattern) -> IncidentSet:
+    """Ground-truth ``incL(p)`` computed directly from Definition 4.
+
+    This recursive oracle makes no attempt at efficiency; it exists so the
+    production engines can be differential-tested against the definition
+    itself.
+    """
+    return IncidentSet(_reference(log, pattern))
+
+
+def _reference(log: Log, pattern: Pattern) -> set[Incident]:
+    if isinstance(pattern, Atomic):
+        return {Incident([r]) for r in log if pattern.matches(r)}
+
+    assert hasattr(pattern, "left") and hasattr(pattern, "right")
+    left = _reference(log, pattern.left)
+    right = _reference(log, pattern.right)
+
+    if isinstance(pattern, Choice):
+        return left | right
+
+    out: set[Incident] = set()
+    for o1 in left:
+        for o2 in right:
+            if o1.wid != o2.wid:
+                continue
+            if isinstance(pattern, (Consecutive, Sequential)):
+                if pattern.gap_ok(o1.last, o2.first):
+                    out.add(o1.union(o2))
+            elif isinstance(pattern, Parallel):
+                if o1.disjoint(o2):
+                    out.add(o1.union(o2))
+            else:  # pragma: no cover - unknown operator
+                raise TypeError(f"unknown pattern operator {type(pattern).__name__}")
+    return out

@@ -1,0 +1,504 @@
+"""Workflow-log data model (Definitions 1 and 2 of the paper).
+
+A *log record* is a tuple ``(lsn, wid, is-lsn, t, αin, αout)`` capturing one
+activity execution inside one workflow instance:
+
+* ``lsn`` — global log sequence number (positions ``1..|L|``),
+* ``wid`` — workflow instance id,
+* ``is_lsn`` — instance-specific log sequence number (``1..`` per instance),
+* ``activity`` — the activity name ``t``,
+* ``attrs_in`` / ``attrs_out`` — the input/output attribute maps.
+
+A *log* is a finite set of records satisfying the four well-formedness
+conditions of Definition 2; :meth:`Log.validate` enforces them.  Each
+workflow instance begins with a ``START`` record and optionally ends with an
+``END`` record.
+
+The module-level helpers :func:`lsn`, :func:`wid`, :func:`is_lsn`,
+:func:`act`, :func:`attrs_in` and :func:`attrs_out` mirror the component
+extraction functions used throughout the paper's definitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any
+
+from repro.core.errors import LogValidationError
+
+__all__ = [
+    "START",
+    "END",
+    "AttrMap",
+    "LogRecord",
+    "Log",
+    "lsn",
+    "wid",
+    "is_lsn",
+    "act",
+    "attrs_in",
+    "attrs_out",
+]
+
+#: Activity name of the mandatory first record of every workflow instance.
+START = "START"
+
+#: Activity name of the optional final record of a workflow instance.
+END = "END"
+
+#: Attribute maps assign values to a finite set of attribute names.
+AttrMap = Mapping[str, Any]
+
+_EMPTY_MAP: AttrMap = MappingProxyType({})
+
+
+def _freeze_attrs(attrs: AttrMap | None) -> AttrMap:
+    """Return an immutable view of ``attrs`` (``None`` becomes empty)."""
+    if attrs is None or len(attrs) == 0:
+        return _EMPTY_MAP
+    return MappingProxyType(dict(attrs))
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """A single entry of a workflow log (Definition 1).
+
+    Instances are immutable and hashable; identity within a log is carried
+    by the globally unique ``lsn``.
+
+    Examples
+    --------
+    >>> rec = LogRecord(lsn=4, wid=1, is_lsn=3, activity="CheckIn",
+    ...                 attrs_in={"referId": "034d1"},
+    ...                 attrs_out={"referState": "active"})
+    >>> rec.activity
+    'CheckIn'
+    >>> rec.attrs_out["referState"]
+    'active'
+    """
+
+    lsn: int
+    wid: int
+    is_lsn: int
+    activity: str
+    attrs_in: AttrMap | None = field(default=None)
+    attrs_out: AttrMap | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.lsn < 1:
+            raise LogValidationError(
+                f"lsn must be a positive natural number, got {self.lsn}", lsn=self.lsn
+            )
+        if self.wid < 1:
+            raise LogValidationError(
+                f"wid must be a positive natural number, got {self.wid}", lsn=self.lsn
+            )
+        if self.is_lsn < 1:
+            raise LogValidationError(
+                f"is-lsn must be a positive natural number, got {self.is_lsn}",
+                lsn=self.lsn,
+            )
+        if not self.activity:
+            raise LogValidationError("activity name must be nonempty", lsn=self.lsn)
+        object.__setattr__(self, "attrs_in", _freeze_attrs(self.attrs_in))
+        object.__setattr__(self, "attrs_out", _freeze_attrs(self.attrs_out))
+
+    def __hash__(self) -> int:
+        # equality includes the attribute maps, but the hash only needs the
+        # identity columns (maps may hold unhashable values such as lists)
+        return hash((self.lsn, self.wid, self.is_lsn, self.activity))
+
+    # Records are immutable: copying returns self; pickling rebuilds from
+    # plain dicts (mappingproxy itself is not picklable).
+    def __copy__(self) -> "LogRecord":
+        return self
+
+    def __deepcopy__(self, memo) -> "LogRecord":
+        return self
+
+    def __reduce__(self):
+        return (
+            LogRecord,
+            (
+                self.lsn,
+                self.wid,
+                self.is_lsn,
+                self.activity,
+                dict(self.attrs_in),
+                dict(self.attrs_out),
+            ),
+        )
+
+    # Records are totally ordered by their global log sequence number.
+    def __lt__(self, other: "LogRecord") -> bool:
+        return self.lsn < other.lsn
+
+    def __le__(self, other: "LogRecord") -> bool:
+        return self.lsn <= other.lsn
+
+    @property
+    def is_start(self) -> bool:
+        """Whether this is a ``START`` sentinel record."""
+        return self.activity == START
+
+    @property
+    def is_end(self) -> bool:
+        """Whether this is an ``END`` sentinel record."""
+        return self.activity == END
+
+    @property
+    def is_sentinel(self) -> bool:
+        """Whether this record is a ``START`` or ``END`` sentinel."""
+        return self.is_start or self.is_end
+
+    def reads(self, attribute: str) -> bool:
+        """Whether the activity read ``attribute`` (it appears in αin)."""
+        return attribute in self.attrs_in
+
+    def writes(self, attribute: str) -> bool:
+        """Whether the activity wrote ``attribute`` (it appears in αout)."""
+        return attribute in self.attrs_out
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict representation used by the serialization modules."""
+        return {
+            "lsn": self.lsn,
+            "wid": self.wid,
+            "is_lsn": self.is_lsn,
+            "activity": self.activity,
+            "attrs_in": dict(self.attrs_in),
+            "attrs_out": dict(self.attrs_out),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LogRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            lsn=int(data["lsn"]),
+            wid=int(data["wid"]),
+            is_lsn=int(data["is_lsn"]),
+            activity=str(data["activity"]),
+            attrs_in=data.get("attrs_in") or {},
+            attrs_out=data.get("attrs_out") or {},
+        )
+
+    def __repr__(self) -> str:  # compact, log-table-like
+        return (
+            f"LogRecord(lsn={self.lsn}, wid={self.wid}, is_lsn={self.is_lsn}, "
+            f"activity={self.activity!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Component-extraction helpers matching the paper's notation.
+# ---------------------------------------------------------------------------
+
+def lsn(record: LogRecord) -> int:
+    """The log sequence number of ``record`` (paper: ``lsn(l)``)."""
+    return record.lsn
+
+
+def wid(record: LogRecord) -> int:
+    """The workflow instance id of ``record`` (paper: ``wid(l)``)."""
+    return record.wid
+
+
+def is_lsn(record: LogRecord) -> int:
+    """The instance-specific sequence number (paper: ``is-lsn(l)``)."""
+    return record.is_lsn
+
+
+def act(record: LogRecord) -> str:
+    """The activity name of ``record`` (paper: ``act(l)``)."""
+    return record.activity
+
+
+def attrs_in(record: LogRecord) -> AttrMap:
+    """The input attribute map (paper: ``αin(l)``)."""
+    return record.attrs_in
+
+
+def attrs_out(record: LogRecord) -> AttrMap:
+    """The output attribute map (paper: ``αout(l)``)."""
+    return record.attrs_out
+
+
+class Log:
+    """A well-formed workflow log (Definition 2).
+
+    A :class:`Log` is an immutable sequence of :class:`LogRecord` objects in
+    ascending ``lsn`` order.  Construction validates the four conditions of
+    Definition 2 unless ``validate=False`` is passed (used internally when
+    the source is already trusted, e.g. the workflow engine).
+
+    Definition 2 conditions enforced:
+
+    1. the set of lsn values is exactly ``{1, ..., |L|}``;
+    2. ``is_lsn == 1`` iff the record's activity is ``START``;
+    3. within an instance, ``is_lsn`` values are consecutive, and the record
+       with ``is_lsn = k+1`` appears later in the log than the one with
+       ``is_lsn = k``;
+    4. an ``END`` record is the last record of its instance.
+
+    Examples
+    --------
+    >>> log = Log.from_tuples([
+    ...     (1, 1, 1, "START"),
+    ...     (2, 1, 2, "GetRefer"),
+    ...     (3, 1, 3, "CheckIn"),
+    ... ])
+    >>> len(log)
+    3
+    >>> [r.activity for r in log.instance(1)]
+    ['START', 'GetRefer', 'CheckIn']
+    """
+
+    __slots__ = ("_records", "_by_wid", "_by_activity", "_by_lsn")
+
+    def __init__(self, records: Iterable[LogRecord], *, validate: bool = True):
+        recs = sorted(records, key=lambda r: r.lsn)
+        self._records: tuple[LogRecord, ...] = tuple(recs)
+        if validate:
+            _validate_records(self._records)
+        by_wid: dict[int, list[LogRecord]] = {}
+        by_activity: dict[str, list[LogRecord]] = {}
+        by_lsn: dict[int, LogRecord] = {}
+        for rec in self._records:
+            by_wid.setdefault(rec.wid, []).append(rec)
+            by_activity.setdefault(rec.activity, []).append(rec)
+            by_lsn[rec.lsn] = rec
+        self._by_wid = {w: tuple(rs) for w, rs in by_wid.items()}
+        self._by_activity = {a: tuple(rs) for a, rs in by_activity.items()}
+        self._by_lsn = by_lsn
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        rows: Iterable[tuple | Sequence],
+        *,
+        validate: bool = True,
+    ) -> "Log":
+        """Build a log from ``(lsn, wid, is_lsn, activity[, αin[, αout]])``
+        tuples — the column layout of Figure 3 in the paper."""
+        records = []
+        for row in rows:
+            row = tuple(row)
+            if not 4 <= len(row) <= 6:
+                raise LogValidationError(
+                    f"expected 4-6 fields per row, got {len(row)}: {row!r}"
+                )
+            ain = row[4] if len(row) > 4 else None
+            aout = row[5] if len(row) > 5 else None
+            records.append(
+                LogRecord(
+                    lsn=row[0],
+                    wid=row[1],
+                    is_lsn=row[2],
+                    activity=row[3],
+                    attrs_in=ain,
+                    attrs_out=aout,
+                )
+            )
+        return cls(records, validate=validate)
+
+    @classmethod
+    def from_traces(
+        cls,
+        traces: Mapping[int, Sequence[str]] | Sequence[Sequence[str]],
+        *,
+        interleave: bool = False,
+        add_sentinels: bool = True,
+    ) -> "Log":
+        """Build a log from per-instance activity-name sequences.
+
+        ``traces`` maps instance ids to activity-name sequences (or is a
+        list, in which case instance ids ``1..n`` are assigned).  When
+        ``interleave`` is false the instances are logged back to back; when
+        true their records are round-robin interleaved, exercising the
+        multi-instance structure of real logs.  ``add_sentinels`` prepends a
+        ``START`` record (required by Definition 2) and appends an ``END``
+        record to every instance.
+        """
+        if not isinstance(traces, Mapping):
+            traces = {i + 1: seq for i, seq in enumerate(traces)}
+        per_instance: dict[int, list[str]] = {}
+        for w, seq in traces.items():
+            names = list(seq)
+            if add_sentinels:
+                names = [START, *names, END]
+            if not names or names[0] != START:
+                raise LogValidationError(
+                    f"instance {w} does not begin with START", condition=2
+                )
+            per_instance[int(w)] = names
+
+        records: list[LogRecord] = []
+        next_lsn = 1
+        if interleave:
+            cursors = {w: 0 for w in per_instance}
+            remaining = sum(len(v) for v in per_instance.values())
+            order = sorted(per_instance)
+            while remaining:
+                for w in order:
+                    i = cursors[w]
+                    if i >= len(per_instance[w]):
+                        continue
+                    records.append(
+                        LogRecord(
+                            lsn=next_lsn,
+                            wid=w,
+                            is_lsn=i + 1,
+                            activity=per_instance[w][i],
+                        )
+                    )
+                    cursors[w] += 1
+                    next_lsn += 1
+                    remaining -= 1
+        else:
+            for w in sorted(per_instance):
+                for i, name in enumerate(per_instance[w]):
+                    records.append(
+                        LogRecord(lsn=next_lsn, wid=w, is_lsn=i + 1, activity=name)
+                    )
+                    next_lsn += 1
+        return cls(records)
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> LogRecord:
+        return self._records[index]
+
+    def __contains__(self, record: object) -> bool:
+        if not isinstance(record, LogRecord):
+            return False
+        return self._by_lsn.get(record.lsn) == record
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Log):
+            return NotImplemented
+        return self._records == other._records
+
+    def __hash__(self) -> int:
+        return hash(self._records)
+
+    def __repr__(self) -> str:
+        return f"Log({len(self)} records, {len(self._by_wid)} instances)"
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[LogRecord, ...]:
+        """All records in ascending ``lsn`` order."""
+        return self._records
+
+    @property
+    def wids(self) -> tuple[int, ...]:
+        """All workflow instance ids present in the log, sorted."""
+        return tuple(sorted(self._by_wid))
+
+    @property
+    def activities(self) -> frozenset[str]:
+        """The set of activity names occurring in the log."""
+        return frozenset(self._by_activity)
+
+    def record(self, lsn_value: int) -> LogRecord:
+        """The record with log sequence number ``lsn_value``.
+
+        Raises ``KeyError`` if no such record exists.
+        """
+        return self._by_lsn[lsn_value]
+
+    def instance(self, wid_value: int) -> tuple[LogRecord, ...]:
+        """All records of workflow instance ``wid_value`` in is-lsn order."""
+        return self._by_wid.get(wid_value, ())
+
+    def with_activity(self, activity: str) -> tuple[LogRecord, ...]:
+        """All records with the given activity name, in lsn order.
+
+        This is the constant-time activity index used by Algorithm 2."""
+        return self._by_activity.get(activity, ())
+
+    def is_complete(self, wid_value: int) -> bool:
+        """Whether instance ``wid_value`` has reached its ``END`` record."""
+        recs = self.instance(wid_value)
+        return bool(recs) and recs[-1].is_end
+
+    def restrict_to(self, wids: Iterable[int]) -> "Log":
+        """A new log containing only the given instances, with lsn values
+        compacted to remain well-formed (Definition 2 condition 1)."""
+        keep = set(wids)
+        kept = [r for r in self._records if r.wid in keep]
+        out = [
+            LogRecord(
+                lsn=i + 1,
+                wid=r.wid,
+                is_lsn=r.is_lsn,
+                activity=r.activity,
+                attrs_in=r.attrs_in,
+                attrs_out=r.attrs_out,
+            )
+            for i, r in enumerate(kept)
+        ]
+        return Log(out)
+
+    def validate(self) -> None:
+        """Re-run the Definition 2 well-formedness checks."""
+        _validate_records(self._records)
+
+
+def _validate_records(records: Sequence[LogRecord]) -> None:
+    """Enforce the four conditions of Definition 2 on sorted records."""
+    if not records:
+        raise LogValidationError("a log must be a nonempty set of records")
+
+    # Condition 1: lsn values are exactly 1..|L| (bijection with an initial
+    # segment of the positive naturals).
+    for position, record in enumerate(records, start=1):
+        if record.lsn != position:
+            raise LogValidationError(
+                f"lsn values must be exactly 1..{len(records)}; "
+                f"found lsn={record.lsn} at position {position}",
+                condition=1,
+                lsn=record.lsn,
+            )
+
+    last_is_lsn: dict[int, int] = {}
+    ended: set[int] = set()
+    for record in records:
+        if record.wid in ended:
+            raise LogValidationError(
+                f"instance {record.wid} has records after its END record",
+                condition=4,
+                lsn=record.lsn,
+            )
+        # Condition 2: is_lsn == 1 iff activity == START.
+        if (record.is_lsn == 1) != record.is_start:
+            raise LogValidationError(
+                f"record lsn={record.lsn}: is-lsn==1 iff activity==START "
+                f"(got is-lsn={record.is_lsn}, activity={record.activity!r})",
+                condition=2,
+                lsn=record.lsn,
+            )
+        # Condition 3: per-instance is_lsn values are consecutive and appear
+        # in ascending lsn order.
+        expected = last_is_lsn.get(record.wid, 0) + 1
+        if record.is_lsn != expected:
+            raise LogValidationError(
+                f"instance {record.wid}: expected is-lsn={expected}, "
+                f"got {record.is_lsn} at lsn={record.lsn}",
+                condition=3,
+                lsn=record.lsn,
+            )
+        last_is_lsn[record.wid] = record.is_lsn
+        if record.is_end:
+            ended.add(record.wid)

@@ -1,0 +1,142 @@
+"""High-level query API.
+
+:class:`Query` bundles pattern, engine and optimizer behind the interface a
+downstream application uses::
+
+    from repro import Query, Log
+
+    q = Query("UpdateRefer -> GetReimburse")
+    result = q.run(log)              # IncidentSet
+    q.exists(log)                    # short-circuit boolean
+    q.count(log)                     # number of incidents
+    print(q.explain(log))            # chosen plan + cost estimates
+
+Engines are pluggable by name (``"naive"``, ``"indexed"``) or instance;
+optimization can be disabled per query for A/B benchmarking.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+from repro.core.eval.base import Engine
+from repro.core.eval.indexed import IndexedEngine
+from repro.core.eval.naive import NaiveEngine
+from repro.core.eval.tree import render_tree
+from repro.core.incident import IncidentSet
+from repro.core.model import Log
+from repro.core.optimizer.planner import OptimizedPlan, Optimizer
+from repro.core.parser import parse
+from repro.core.pattern import Pattern
+
+__all__ = ["Query", "ENGINES"]
+
+#: Registry of engine constructors, keyed by engine name.
+ENGINES: dict[str, type[Engine]] = {
+    NaiveEngine.name: NaiveEngine,
+    IndexedEngine.name: IndexedEngine,
+}
+
+
+def _resolve_engine(engine: str | Engine | None, max_incidents: int | None) -> Engine:
+    if engine is None:
+        return IndexedEngine(max_incidents=max_incidents)
+    if isinstance(engine, Engine):
+        return engine
+    try:
+        return ENGINES[engine](max_incidents=max_incidents)
+    except KeyError:
+        raise ReproError(
+            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+
+
+class Query:
+    """A compiled incident-pattern query.
+
+    Parameters
+    ----------
+    pattern:
+        A :class:`~repro.core.pattern.Pattern` or a textual expression in
+        the query syntax of :mod:`repro.core.parser`.
+    engine:
+        Engine name (``"naive"``/``"indexed"``), engine instance, or None
+        for the default indexed engine.
+    optimize:
+        When True (default) the pattern is rewritten per log by the
+        cost-based optimizer before evaluation.
+    max_incidents:
+        Optional cap on materialised incidents (see
+        :class:`~repro.core.eval.base.Engine`).
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern | str,
+        *,
+        engine: str | Engine | None = None,
+        optimize: bool = True,
+        max_incidents: int | None = None,
+    ):
+        if isinstance(pattern, str):
+            pattern = parse(pattern)
+        if not isinstance(pattern, Pattern):
+            raise TypeError(f"expected Pattern or str, got {type(pattern).__name__}")
+        self.pattern = pattern
+        self.engine = _resolve_engine(engine, max_incidents)
+        self.optimize = optimize
+        self._last_plan: OptimizedPlan | None = None
+
+    # -- execution -------------------------------------------------------
+
+    def plan(self, log: Log) -> OptimizedPlan:
+        """The (possibly identity) plan chosen for ``log``."""
+        if self.optimize:
+            plan = Optimizer.for_log(log).optimize(self.pattern)
+        else:
+            plan = OptimizedPlan(
+                original=self.pattern,
+                optimized=self.pattern,
+                original_cost=float("nan"),
+                optimized_cost=float("nan"),
+                transformations=["optimization disabled"],
+            )
+        self._last_plan = plan
+        return plan
+
+    def run(self, log: Log) -> IncidentSet:
+        """Evaluate the query, returning the full incident set."""
+        return self.engine.evaluate(log, self.plan(log).optimized)
+
+    def exists(self, log: Log) -> bool:
+        """Whether at least one incident exists (short-circuits when the
+        engine supports it)."""
+        return self.engine.exists(log, self.plan(log).optimized)
+
+    def count(self, log: Log) -> int:
+        """Number of incidents in ``log``.
+
+        Delegates to the engine, which may use the output-free counting
+        DP for ⊙/⊳ chains instead of materialising the incident set."""
+        return self.engine.count(log, self.plan(log).optimized)
+
+    def matching_instances(self, log: Log) -> tuple[int, ...]:
+        """The workflow instance ids containing at least one incident."""
+        return self.run(log).wids()
+
+    # -- introspection -----------------------------------------------------
+
+    def explain(self, log: Log) -> str:
+        """Human-readable execution plan for ``log``: the incident tree of
+        the optimized pattern plus cost estimates."""
+        plan = self.plan(log)
+        return "\n".join(
+            [
+                plan.explain(),
+                "incident tree:",
+                render_tree(plan.optimized),
+                f"engine: {self.engine.name}",
+            ]
+        )
+
+    def __repr__(self) -> str:
+        return f"Query({str(self.pattern)!r}, engine={self.engine.name})"

@@ -1,0 +1,67 @@
+"""Log storage, serialization, indexing, statistics and validation.
+
+The paper notes there is "no standard structure for workflow logs"; this
+package provides one concrete, production-usable realisation:
+
+* :mod:`repro.logstore.store` — an append-only in-memory store with the
+  bookkeeping (lsn / wid / is-lsn assignment) a workflow engine needs;
+* :mod:`repro.logstore.io_jsonl` / :mod:`repro.logstore.io_csv` /
+  :mod:`repro.logstore.io_xes` — serialization to JSON-lines, CSV and the
+  XES process-mining interchange format;
+* :mod:`repro.logstore.index` — standalone activity/instance indices;
+* :mod:`repro.logstore.stats` — descriptive statistics and the
+  directly-follows graph;
+* :mod:`repro.logstore.validate` — non-throwing validation reports and
+  log repair;
+* :mod:`repro.logstore.transform` — filtering, slicing, projection,
+  merging and anonymisation of logs.
+"""
+
+from repro.logstore.index import LogIndex
+from repro.logstore.io_csv import read_csv, write_csv
+from repro.logstore.io_jsonl import read_jsonl, write_jsonl
+from repro.logstore.io_xes import read_xes, write_xes
+from repro.logstore.render import (
+    dfg_to_dot,
+    render_instance,
+    render_log_table,
+    render_swimlanes,
+)
+from repro.logstore.stats import LogSummary, directly_follows_graph, summarize
+from repro.logstore.store import LogStore
+from repro.logstore.transform import (
+    anonymize,
+    filter_instances,
+    merge_logs,
+    project_activities,
+    renumber,
+    slice_lsn,
+)
+from repro.logstore.validate import ValidationIssue, repair_log, validation_report
+
+__all__ = [
+    "LogStore",
+    "LogIndex",
+    "read_jsonl",
+    "write_jsonl",
+    "read_csv",
+    "write_csv",
+    "read_xes",
+    "write_xes",
+    "LogSummary",
+    "summarize",
+    "directly_follows_graph",
+    "ValidationIssue",
+    "validation_report",
+    "repair_log",
+    "renumber",
+    "filter_instances",
+    "slice_lsn",
+    "project_activities",
+    "merge_logs",
+    "anonymize",
+    "render_instance",
+    "render_log_table",
+    "render_swimlanes",
+    "dfg_to_dot",
+]

@@ -1,0 +1,94 @@
+"""CSV serialization of workflow logs.
+
+Columns match the log table of the paper's Figure 3: ``lsn, wid, is_lsn,
+activity, attrs_in, attrs_out``, with the attribute maps JSON-encoded in
+their cells (CSV cannot nest).  Useful for spreadsheet inspection and for
+loading into external warehouse tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from os import PathLike
+from pathlib import Path
+from typing import IO, Union
+
+from repro.core.errors import LogStoreError
+from repro.core.model import Log, LogRecord
+
+__all__ = ["write_csv", "read_csv", "CSV_COLUMNS"]
+
+CSV_COLUMNS = ("lsn", "wid", "is_lsn", "activity", "attrs_in", "attrs_out")
+
+PathOrIO = Union[str, PathLike, IO[str]]
+
+
+def write_csv(log: Log, target: PathOrIO) -> None:
+    """Write ``log`` as CSV with a header row."""
+    if hasattr(target, "write"):
+        _write(log, target)
+    else:
+        with open(Path(target), "w", encoding="utf-8", newline="") as handle:
+            _write(log, handle)
+
+
+def _write(log: Log, handle: IO[str]) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(CSV_COLUMNS)
+    for record in log:
+        writer.writerow(
+            [
+                record.lsn,
+                record.wid,
+                record.is_lsn,
+                record.activity,
+                json.dumps(dict(record.attrs_in), sort_keys=True),
+                json.dumps(dict(record.attrs_out), sort_keys=True),
+            ]
+        )
+
+
+def read_csv(source: PathOrIO, *, validate: bool = True) -> Log:
+    """Read a log from CSV produced by :func:`write_csv`."""
+    if hasattr(source, "read"):
+        return _read(source, validate)
+    with open(Path(source), encoding="utf-8", newline="") as handle:
+        return _read(handle, validate)
+
+
+def _read(handle: IO[str], validate: bool) -> Log:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise LogStoreError("CSV input is empty") from None
+    if tuple(h.strip() for h in header) != CSV_COLUMNS:
+        raise LogStoreError(
+            f"unexpected CSV header {header!r}; expected {list(CSV_COLUMNS)}"
+        )
+    records = []
+    for row_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(CSV_COLUMNS):
+            raise LogStoreError(
+                f"CSV row {row_number} has {len(row)} cells, expected "
+                f"{len(CSV_COLUMNS)}"
+            )
+        try:
+            records.append(
+                LogRecord(
+                    lsn=int(row[0]),
+                    wid=int(row[1]),
+                    is_lsn=int(row[2]),
+                    activity=row[3],
+                    attrs_in=json.loads(row[4]) if row[4] else {},
+                    attrs_out=json.loads(row[5]) if row[5] else {},
+                )
+            )
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise LogStoreError(f"malformed CSV row {row_number}: {exc}") from exc
+    if not records:
+        raise LogStoreError("CSV input contains no records")
+    return Log(records, validate=validate)

@@ -1,0 +1,61 @@
+"""JSON-lines serialization of workflow logs.
+
+One JSON object per line with keys ``lsn, wid, is_lsn, activity, attrs_in,
+attrs_out`` — the canonical on-disk format of this library (lossless for
+any JSON-representable attribute values, streamable, appendable).
+"""
+
+from __future__ import annotations
+
+import json
+from os import PathLike
+from pathlib import Path
+from typing import IO, Union
+
+from repro.core.errors import LogStoreError
+from repro.core.model import Log, LogRecord
+
+__all__ = ["write_jsonl", "read_jsonl", "dumps", "loads"]
+
+PathOrIO = Union[str, PathLike, IO[str]]
+
+
+def dumps(log: Log) -> str:
+    """Serialize ``log`` to a JSON-lines string."""
+    return "\n".join(json.dumps(r.to_dict(), sort_keys=True) for r in log) + "\n"
+
+
+def loads(text: str, *, validate: bool = True) -> Log:
+    """Parse a JSON-lines string into a :class:`Log`."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(LogRecord.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise LogStoreError(
+                f"malformed JSONL record on line {line_number}: {exc}"
+            ) from exc
+    if not records:
+        raise LogStoreError("JSONL input contains no records")
+    return Log(records, validate=validate)
+
+
+def write_jsonl(log: Log, target: PathOrIO) -> None:
+    """Write ``log`` to a path or text file object, one record per line."""
+    text = dumps(log)
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        Path(target).write_text(text, encoding="utf-8")
+
+
+def read_jsonl(source: PathOrIO, *, validate: bool = True) -> Log:
+    """Read a log from a path or text file object."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    return loads(text, validate=validate)

@@ -1,0 +1,214 @@
+"""XES import/export.
+
+XES (eXtensible Event Stream, IEEE 1849-2016) is the interchange format of
+the process-mining ecosystem (ProM, pm4py, Disco).  Exporting lets logs
+generated here be analysed by those tools; importing lets their event logs
+be queried with incident patterns.
+
+Mapping
+-------
+* one XES ``<trace>`` per workflow instance; ``concept:name`` = wid;
+* one ``<event>`` per log record; ``concept:name`` = activity name;
+* the record's αin/αout maps are nested under ``repro:attrs_in`` /
+  ``repro:attrs_out`` container attributes;
+* on import, events are ordered within each trace by document order, and
+  global ``lsn`` values are assigned by an interleaving round-robin when
+  the XES file does not carry ``repro:lsn`` hints (XES has no global
+  order across traces).  ``START``/``END`` sentinels are added when
+  missing, since most external XES logs lack them.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from os import PathLike
+from pathlib import Path
+from typing import IO, Any, Union
+
+from repro.core.errors import LogStoreError
+from repro.core.model import END, START, Log, LogRecord
+
+__all__ = ["write_xes", "read_xes"]
+
+PathOrIO = Union[str, PathLike, IO[str]]
+
+
+def _attr_element(key: str, value: Any) -> ET.Element:
+    """Build a typed XES attribute element for ``value``."""
+    if isinstance(value, bool):
+        element = ET.Element("boolean")
+        element.set("value", "true" if value else "false")
+    elif isinstance(value, int):
+        element = ET.Element("int")
+        element.set("value", str(value))
+    elif isinstance(value, float):
+        element = ET.Element("float")
+        element.set("value", repr(value))
+    else:
+        element = ET.Element("string")
+        element.set("value", str(value))
+    element.set("key", key)
+    return element
+
+
+def _parse_attr(element: ET.Element) -> Any:
+    value = element.get("value", "")
+    tag = element.tag.rsplit("}", 1)[-1]
+    if tag == "int":
+        return int(value)
+    if tag == "float":
+        return float(value)
+    if tag == "boolean":
+        return value == "true"
+    return value
+
+
+def write_xes(log: Log, target: PathOrIO) -> None:
+    """Write ``log`` as an XES document (one trace per instance)."""
+    root = ET.Element("log")
+    root.set("xes.version", "1.0")
+    root.set("xmlns", "http://www.xes-standard.org/")
+    for wid in log.wids:
+        trace = ET.SubElement(root, "trace")
+        trace.append(_attr_element("concept:name", str(wid)))
+        for record in log.instance(wid):
+            event = ET.SubElement(trace, "event")
+            event.append(_attr_element("concept:name", record.activity))
+            event.append(_attr_element("repro:lsn", record.lsn))
+            event.append(_attr_element("repro:is_lsn", record.is_lsn))
+            for container_key, attrs in (
+                ("repro:attrs_in", record.attrs_in),
+                ("repro:attrs_out", record.attrs_out),
+            ):
+                if not attrs:
+                    continue
+                container = ET.Element("list")
+                container.set("key", container_key)
+                values = ET.SubElement(container, "values")
+                for key, value in attrs.items():
+                    values.append(_attr_element(key, value))
+                event.append(container)
+    text = ET.tostring(root, encoding="unicode", xml_declaration=True)
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        Path(target).write_text(text, encoding="utf-8")
+
+
+def read_xes(source: PathOrIO, *, validate: bool = True) -> Log:
+    """Read an XES document into a :class:`Log`.
+
+    Handles both files produced by :func:`write_xes` (global order is
+    restored from ``repro:lsn``) and generic third-party XES (traces are
+    round-robin interleaved to synthesise a global order, and missing
+    ``START``/``END`` sentinels are added).
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise LogStoreError(f"invalid XES document: {exc}") from exc
+
+    def strip(tag: str) -> str:
+        return tag.rsplit("}", 1)[-1]
+
+    traces: list[tuple[int, list[dict]]] = []
+    next_wid = 1
+    for trace_el in root:
+        if strip(trace_el.tag) != "trace":
+            continue
+        wid: int | None = None
+        events: list[dict] = []
+        for child in trace_el:
+            tag = strip(child.tag)
+            if tag != "event":
+                if child.get("key") == "concept:name":
+                    try:
+                        wid = int(child.get("value", ""))
+                    except ValueError:
+                        wid = None
+                continue
+            event: dict = {"attrs_in": {}, "attrs_out": {}, "lsn": None}
+            for attr in child:
+                key = attr.get("key", "")
+                if key == "concept:name":
+                    event["activity"] = attr.get("value", "")
+                elif key == "repro:lsn":
+                    event["lsn"] = _parse_attr(attr)
+                elif key in ("repro:attrs_in", "repro:attrs_out"):
+                    bucket = event["attrs_in" if key.endswith("in") else "attrs_out"]
+                    for values in attr:
+                        for item in values:
+                            bucket[item.get("key", "")] = _parse_attr(item)
+            if "activity" not in event:
+                raise LogStoreError("XES event without concept:name")
+            events.append(event)
+        if wid is None:
+            wid = next_wid
+        next_wid = max(next_wid, wid + 1)
+        traces.append((wid, events))
+
+    if not traces:
+        raise LogStoreError("XES document contains no traces")
+
+    # Add sentinels when the producer did not include them.
+    for __, events in traces:
+        names = [e["activity"] for e in events]
+        if not names or names[0] != START:
+            events.insert(0, {"activity": START, "attrs_in": {}, "attrs_out": {},
+                              "lsn": None})
+        if names and names[-1] != END and END in names:
+            raise LogStoreError("XES trace has END before its final event")
+
+    has_lsn = all(
+        event["lsn"] is not None for __, events in traces for event in events
+    )
+
+    records: list[LogRecord] = []
+    if has_lsn:
+        flat = []
+        for wid, events in traces:
+            for position, event in enumerate(events, start=1):
+                flat.append((event["lsn"], wid, position, event))
+        flat.sort(key=lambda item: item[0])
+        for new_lsn, (__, wid, position, event) in enumerate(flat, start=1):
+            records.append(
+                LogRecord(
+                    lsn=new_lsn,
+                    wid=wid,
+                    is_lsn=position,
+                    activity=event["activity"],
+                    attrs_in=event["attrs_in"],
+                    attrs_out=event["attrs_out"],
+                )
+            )
+    else:
+        # No trustworthy global order: interleave traces round-robin.
+        cursors = {wid: 0 for wid, __ in traces}
+        order = [wid for wid, __ in traces]
+        events_of = dict(traces)
+        next_lsn = 1
+        remaining = sum(len(events) for __, events in traces)
+        while remaining:
+            for wid in order:
+                i = cursors[wid]
+                if i >= len(events_of[wid]):
+                    continue
+                event = events_of[wid][i]
+                records.append(
+                    LogRecord(
+                        lsn=next_lsn,
+                        wid=wid,
+                        is_lsn=i + 1,
+                        activity=event["activity"],
+                        attrs_in=event["attrs_in"],
+                        attrs_out=event["attrs_out"],
+                    )
+                )
+                cursors[wid] += 1
+                next_lsn += 1
+                remaining -= 1
+    return Log(records, validate=validate)

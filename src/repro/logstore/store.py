@@ -1,0 +1,161 @@
+"""Append-only log store.
+
+:class:`LogStore` owns the sequence-number bookkeeping of Definition 2:
+it assigns global ``lsn`` values in arrival order, per-instance ``is_lsn``
+values consecutively, writes the ``START`` sentinel when an instance is
+opened and the ``END`` sentinel when it is closed, and refuses appends to
+closed instances.  Logs snapshotted from a store are therefore well-formed
+by construction.
+
+Example
+-------
+>>> store = LogStore()
+>>> w = store.open_instance()
+>>> _ = store.append(w, "GetRefer", attrs_out={"balance": 1000})
+>>> _ = store.append(w, "CheckIn", attrs_in={"balance": 1000})
+>>> store.close_instance(w)
+>>> [r.activity for r in store.snapshot()]
+['START', 'GetRefer', 'CheckIn', 'END']
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.core.errors import LogStoreError
+from repro.core.model import END, START, AttrMap, Log, LogRecord
+
+__all__ = ["LogStore"]
+
+
+class LogStore:
+    """In-memory append-only workflow log.
+
+    The store is the write-side companion of the read-only
+    :class:`~repro.core.model.Log`: workflow engines (or adapters tailing
+    a real system) push records in, queries run over snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._next_is_lsn: dict[int, int] = {}
+        self._closed: set[int] = set()
+        self._next_wid = 1
+
+    # -- instance lifecycle ----------------------------------------------
+
+    def open_instance(self, wid: int | None = None) -> int:
+        """Start a new workflow instance and write its ``START`` record.
+
+        Returns the instance id (auto-assigned when ``wid`` is None).
+        """
+        if wid is None:
+            wid = self._next_wid
+        if wid in self._next_is_lsn:
+            raise LogStoreError(f"instance {wid} is already open")
+        if wid < 1:
+            raise LogStoreError("wid must be a positive integer")
+        self._next_wid = max(self._next_wid, wid + 1)
+        self._next_is_lsn[wid] = 1
+        self._append_raw(wid, START)
+        return wid
+
+    def close_instance(self, wid: int) -> LogRecord:
+        """Write the instance's ``END`` record; further appends fail."""
+        record = self._append_raw(wid, END)
+        self._closed.add(wid)
+        return record
+
+    def is_open(self, wid: int) -> bool:
+        """Whether the instance exists and has not been closed."""
+        return wid in self._next_is_lsn and wid not in self._closed
+
+    # -- appending ---------------------------------------------------------
+
+    def append(
+        self,
+        wid: int,
+        activity: str,
+        *,
+        attrs_in: AttrMap | None = None,
+        attrs_out: AttrMap | None = None,
+    ) -> LogRecord:
+        """Record the execution of ``activity`` in instance ``wid``."""
+        if activity in (START, END):
+            raise LogStoreError(
+                f"{activity} records are written by open/close_instance"
+            )
+        return self._append_raw(wid, activity, attrs_in, attrs_out)
+
+    def _append_raw(
+        self,
+        wid: int,
+        activity: str,
+        attrs_in: AttrMap | None = None,
+        attrs_out: AttrMap | None = None,
+    ) -> LogRecord:
+        if wid not in self._next_is_lsn:
+            raise LogStoreError(f"unknown instance {wid}; call open_instance first")
+        if wid in self._closed:
+            raise LogStoreError(f"instance {wid} is closed")
+        record = LogRecord(
+            lsn=len(self._records) + 1,
+            wid=wid,
+            is_lsn=self._next_is_lsn[wid],
+            activity=activity,
+            attrs_in=attrs_in,
+            attrs_out=attrs_out,
+        )
+        self._records.append(record)
+        self._next_is_lsn[wid] += 1
+        return record
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    @property
+    def open_instances(self) -> tuple[int, ...]:
+        """Instance ids that are open (no ``END`` yet)."""
+        return tuple(sorted(set(self._next_is_lsn) - self._closed))
+
+    def tail(self, n: int = 10) -> tuple[LogRecord, ...]:
+        """The last ``n`` records."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return tuple(self._records[-n:]) if n else ()
+
+    def snapshot(self) -> Log:
+        """An immutable, validated :class:`~repro.core.model.Log` of the
+        current contents.  Queries run over snapshots; the store can keep
+        appending afterwards."""
+        if not self._records:
+            raise LogStoreError("cannot snapshot an empty store")
+        return Log(self._records)
+
+    @classmethod
+    def from_log(cls, log: Log) -> "LogStore":
+        """Seed a store with an existing log's records (for appending to a
+        loaded log)."""
+        store = cls()
+        store._records = list(log.records)
+        for record in store._records:
+            store._next_is_lsn[record.wid] = max(
+                store._next_is_lsn.get(record.wid, 1), record.is_lsn + 1
+            )
+            if record.is_end:
+                store._closed.add(record.wid)
+            store._next_wid = max(store._next_wid, record.wid + 1)
+        return store
+
+    def __repr__(self) -> str:
+        return (
+            f"LogStore({len(self._records)} records, "
+            f"{len(self._next_is_lsn)} instances, "
+            f"{len(self.open_instances)} open)"
+        )

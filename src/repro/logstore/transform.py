@@ -1,0 +1,148 @@
+"""Log transformation utilities.
+
+Operational tooling around logs-as-values: filtering, slicing, merging
+and anonymising, each returning a fresh well-formed
+:class:`~repro.core.model.Log` (Definition 2 is re-established after
+every transformation by re-compacting sequence numbers where needed).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.core.errors import LogValidationError
+from repro.core.model import END, START, Log, LogRecord
+
+__all__ = [
+    "filter_instances",
+    "slice_lsn",
+    "project_activities",
+    "merge_logs",
+    "anonymize",
+    "renumber",
+]
+
+
+def renumber(records: Iterable[LogRecord]) -> Log:
+    """Rebuild a well-formed log from record *subsequences*.
+
+    Global lsn values are compacted to ``1..n`` preserving order and
+    per-instance is-lsn values are recomputed; instances whose START
+    record was filtered away are dropped entirely (a log cannot represent
+    them, per Definition 2 condition 2).
+    """
+    ordered = sorted(records, key=lambda r: r.lsn)
+    next_pos: dict[int, int] = {}
+    started: set[int] = set()
+    out: list[LogRecord] = []
+    for record in ordered:
+        if record.wid not in started:
+            if record.activity != START:
+                continue  # headless instance: drop
+            started.add(record.wid)
+        position = next_pos.get(record.wid, 0) + 1
+        next_pos[record.wid] = position
+        out.append(
+            LogRecord(
+                lsn=len(out) + 1,
+                wid=record.wid,
+                is_lsn=position,
+                activity=record.activity,
+                attrs_in=record.attrs_in,
+                attrs_out=record.attrs_out,
+            )
+        )
+    if not out:
+        raise LogValidationError("transformation removed every record")
+    return Log(out)
+
+
+def filter_instances(
+    log: Log, predicate: Callable[[tuple[LogRecord, ...]], bool]
+) -> Log:
+    """Keep the instances whose full trace satisfies ``predicate``."""
+    keep = [w for w in log.wids if predicate(log.instance(w))]
+    if not keep:
+        raise LogValidationError("no instance satisfies the predicate")
+    return log.restrict_to(keep)
+
+
+def slice_lsn(log: Log, start: int, stop: int) -> Log:
+    """The log restricted to global positions ``start <= lsn < stop``,
+    re-anchored to a well-formed log (instances whose START falls outside
+    the window are dropped)."""
+    if start >= stop:
+        raise ValueError("need start < stop")
+    return renumber(r for r in log if start <= r.lsn < stop)
+
+
+def project_activities(log: Log, activities: Iterable[str]) -> Log:
+    """Keep only records of the given activities (plus sentinels), the
+    classic event-abstraction step before pattern mining."""
+    wanted = set(activities) | {START, END}
+    return renumber(r for r in log if r.activity in wanted)
+
+
+def merge_logs(first: Log, second: Log) -> Log:
+    """Concatenate two logs into one, remapping the second log's instance
+    ids above the first's to keep them disjoint.
+
+    Records keep their relative order (all of ``first`` before all of
+    ``second``), modelling a warehouse union of two shards.
+    """
+    offset = max(first.wids)
+    remapped = [
+        LogRecord(
+            lsn=r.lsn,  # placeholder; renumber() compacts
+            wid=r.wid + offset,
+            is_lsn=r.is_lsn,
+            activity=r.activity,
+            attrs_in=r.attrs_in,
+            attrs_out=r.attrs_out,
+        )
+        for r in second
+    ]
+    combined = list(first.records) + remapped
+    for index, record in enumerate(combined):
+        combined[index] = LogRecord(
+            lsn=index + 1,
+            wid=record.wid,
+            is_lsn=record.is_lsn,
+            activity=record.activity,
+            attrs_in=record.attrs_in,
+            attrs_out=record.attrs_out,
+        )
+    return Log(combined)
+
+
+def anonymize(
+    log: Log,
+    *,
+    activity_map: Mapping[str, str] | None = None,
+    drop_attributes: bool = True,
+) -> Log:
+    """Pseudonymise a log for sharing: activity names are renamed via
+    ``activity_map`` (auto-generated ``T01, T02, ...`` when omitted,
+    sentinels preserved) and attribute maps are dropped by default."""
+    if activity_map is None:
+        names = sorted(log.activities - {START, END})
+        width = max(2, len(str(len(names))))
+        activity_map = {
+            name: f"T{i + 1:0{width}d}" for i, name in enumerate(names)
+        }
+    records = [
+        LogRecord(
+            lsn=r.lsn,
+            wid=r.wid,
+            is_lsn=r.is_lsn,
+            activity=(
+                r.activity
+                if r.is_sentinel
+                else activity_map.get(r.activity, r.activity)
+            ),
+            attrs_in=None if drop_attributes else r.attrs_in,
+            attrs_out=None if drop_attributes else r.attrs_out,
+        )
+        for r in log
+    ]
+    return Log(records)

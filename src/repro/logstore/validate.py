@@ -1,0 +1,186 @@
+"""Non-throwing log validation and repair.
+
+:class:`~repro.core.model.Log` raises on the first Definition 2 violation;
+operational tooling usually wants *all* problems listed
+(:func:`validation_report`) and, where possible, a best-effort repair
+(:func:`repair_log`) that salvages the valid prefix of each instance and
+re-compacts global sequence numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.model import END, START, Log, LogRecord
+
+__all__ = ["ValidationIssue", "validation_report", "repair_log"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One Definition 2 violation found in a record collection."""
+
+    condition: int
+    lsn: int | None
+    message: str
+
+    def __str__(self) -> str:
+        where = f"lsn={self.lsn}" if self.lsn is not None else "log"
+        return f"[condition {self.condition}] {where}: {self.message}"
+
+
+def validation_report(records: Iterable[LogRecord]) -> list[ValidationIssue]:
+    """All Definition 2 violations in ``records`` (empty list = valid).
+
+    Unlike :meth:`Log.validate`, this scans the whole input and reports
+    every violation, which is what log-ingestion tooling needs.
+    """
+    issues: list[ValidationIssue] = []
+    recs = sorted(records, key=lambda r: r.lsn)
+    if not recs:
+        return [ValidationIssue(0, None, "log is empty")]
+
+    seen_lsn: set[int] = set()
+    for record in recs:
+        if record.lsn in seen_lsn:
+            issues.append(
+                ValidationIssue(1, record.lsn, "duplicate log sequence number")
+            )
+        seen_lsn.add(record.lsn)
+    expected = set(range(1, len(recs) + 1))
+    missing = sorted(expected - seen_lsn)
+    extra = sorted(seen_lsn - expected)
+    if missing:
+        issues.append(
+            ValidationIssue(
+                1, None, f"lsn values are not 1..{len(recs)}: missing {missing[:10]}"
+            )
+        )
+    if extra:
+        issues.append(
+            ValidationIssue(
+                1, None, f"lsn values are not 1..{len(recs)}: unexpected {extra[:10]}"
+            )
+        )
+
+    last_is_lsn: dict[int, int] = {}
+    ended: set[int] = set()
+    for record in recs:
+        if record.wid in ended:
+            issues.append(
+                ValidationIssue(
+                    4, record.lsn, f"instance {record.wid} continues after END"
+                )
+            )
+        if (record.is_lsn == 1) != (record.activity == START):
+            issues.append(
+                ValidationIssue(
+                    2,
+                    record.lsn,
+                    f"is-lsn==1 iff activity==START violated "
+                    f"(is-lsn={record.is_lsn}, activity={record.activity!r})",
+                )
+            )
+        expected_pos = last_is_lsn.get(record.wid, 0) + 1
+        if record.is_lsn != expected_pos:
+            issues.append(
+                ValidationIssue(
+                    3,
+                    record.lsn,
+                    f"instance {record.wid}: expected is-lsn {expected_pos}, "
+                    f"got {record.is_lsn}",
+                )
+            )
+        last_is_lsn[record.wid] = max(
+            last_is_lsn.get(record.wid, 0), record.is_lsn
+        )
+        if record.activity == END:
+            ended.add(record.wid)
+    return issues
+
+
+def repair_log(records: Iterable[LogRecord]) -> tuple[Log, list[LogRecord]]:
+    """Best-effort repair: salvage the longest valid prefix of every
+    instance and rebuild a well-formed log.
+
+    Returns ``(repaired_log, dropped_records)``.  Repair steps:
+
+    * records of an instance whose is-lsn is not the next consecutive
+      value (or that follow an END) are dropped, along with the rest of
+      that instance;
+    * instances that do not begin with a START record get one synthesised
+      (with subsequent is-lsn values shifted);
+    * global lsn values are re-compacted to ``1..n`` in original order.
+    """
+    recs = sorted(records, key=lambda r: r.lsn)
+    kept: list[LogRecord] = []
+    dropped: list[LogRecord] = []
+    progress: dict[int, int] = {}
+    needs_start_shift: set[int] = set()
+    broken: set[int] = set()
+    ended: set[int] = set()
+
+    for record in recs:
+        wid = record.wid
+        if wid in broken or wid in ended:
+            dropped.append(record)
+            continue
+        seen = progress.get(wid, 0)
+        expected = seen + 1
+        is_lsn = record.is_lsn
+        if seen == 0 and record.activity != START:
+            # synthesise a START: this instance's records shift by one
+            needs_start_shift.add(wid)
+        if wid in needs_start_shift:
+            is_lsn = record.is_lsn + 1
+        if seen == 0 and record.activity != START:
+            expected = 2  # after the synthetic START
+        if is_lsn != expected:
+            broken.add(wid)
+            dropped.append(record)
+            continue
+        progress[wid] = is_lsn
+        kept.append(
+            LogRecord(
+                lsn=record.lsn,
+                wid=wid,
+                is_lsn=is_lsn,
+                activity=record.activity,
+                attrs_in=record.attrs_in,
+                attrs_out=record.attrs_out,
+            )
+        )
+        if record.activity == END:
+            ended.add(wid)
+
+    # materialise synthetic STARTs at each instance's first kept position
+    final: list[LogRecord] = []
+    started: set[int] = set()
+    for record in kept:
+        if record.wid in needs_start_shift and record.wid not in started:
+            final.append(
+                LogRecord(
+                    lsn=record.lsn,  # placeholder; compacted below
+                    wid=record.wid,
+                    is_lsn=1,
+                    activity=START,
+                )
+            )
+        started.add(record.wid)
+        final.append(record)
+
+    compacted = [
+        LogRecord(
+            lsn=i + 1,
+            wid=r.wid,
+            is_lsn=r.is_lsn,
+            activity=r.activity,
+            attrs_in=r.attrs_in,
+            attrs_out=r.attrs_out,
+        )
+        for i, r in enumerate(final)
+    ]
+    if not compacted:
+        raise ValueError("nothing salvageable: all records were dropped")
+    return Log(compacted), dropped

@@ -1,0 +1,26 @@
+"""Lightweight process mining over workflow logs.
+
+The paper positions log querying as an *ad hoc* complement to process
+analytics; this package closes the loop in the other direction — mining
+the log for structure and turning what is found into incident-pattern
+queries:
+
+* :mod:`repro.mining.footprint` — the classic alpha-algorithm footprint
+  relations (directly-follows, causality ``→``, parallel ``||``,
+  exclusive ``#``) computed from instance traces;
+* :mod:`repro.mining.suggest` — candidate anomaly queries derived from
+  the footprint: rare inversions of a dominant ordering become
+  ``B ⊳ A``-style suspicion rules, and discovered parallel pairs become
+  ``A ⊕ B`` inspection queries.
+"""
+
+from repro.mining.footprint import Footprint, Relation, footprint
+from repro.mining.suggest import suggest_anomaly_rules, suggest_patterns
+
+__all__ = [
+    "Relation",
+    "Footprint",
+    "footprint",
+    "suggest_patterns",
+    "suggest_anomaly_rules",
+]

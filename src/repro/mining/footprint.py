@@ -1,0 +1,142 @@
+"""Alpha-algorithm footprint relations.
+
+The alpha algorithm's first step classifies every ordered activity pair
+``(a, b)`` from the directly-follows counts ``df(a, b)``:
+
+* **causality** ``a → b``: ``df(a,b) > 0`` and ``df(b,a) == 0``;
+* **parallel** ``a || b``: ``df(a,b) > 0`` and ``df(b,a) > 0``;
+* **exclusive** ``a # b``: neither direction ever directly follows.
+
+A noise threshold generalises the classic definition for real logs: a
+direction is "present" only if it carries at least ``noise`` fraction of
+the pair's total directly-follows weight, so a single out-of-order trace
+does not turn a clean causality into a parallel relation.
+
+Sentinel ``START``/``END`` records are excluded; the footprint is over
+the business activities.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.model import Log
+
+__all__ = ["Relation", "Footprint", "footprint"]
+
+
+class Relation(enum.Enum):
+    """Footprint cell values."""
+
+    CAUSALITY = "→"       # row precedes column
+    REVERSE = "←"         # column precedes row
+    PARALLEL = "||"
+    EXCLUSIVE = "#"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The footprint matrix of one log.
+
+    Attributes
+    ----------
+    activities:
+        Sorted activity names (matrix axes).
+    relations:
+        Mapping from unordered-as-ordered pairs ``(a, b)`` with ``a != b``
+        to their :class:`Relation` (both orders present, mirrored).
+    follows_counts:
+        Raw directly-follows counts ``(a, b) -> n``.
+    """
+
+    activities: tuple[str, ...]
+    relations: Mapping[tuple[str, str], Relation]
+    follows_counts: Mapping[tuple[str, str], int]
+
+    def relation(self, first: str, then: str) -> Relation:
+        """The relation between two activities (EXCLUSIVE if never seen)."""
+        return self.relations.get((first, then), Relation.EXCLUSIVE)
+
+    def causal_pairs(self) -> list[tuple[str, str]]:
+        """All pairs ``(a, b)`` with ``a → b``."""
+        return sorted(
+            pair
+            for pair, relation in self.relations.items()
+            if relation is Relation.CAUSALITY
+        )
+
+    def parallel_pairs(self) -> list[tuple[str, str]]:
+        """All unordered parallel pairs, each reported once (a < b)."""
+        return sorted(
+            (a, b)
+            for (a, b), relation in self.relations.items()
+            if relation is Relation.PARALLEL and a < b
+        )
+
+    def format(self) -> str:
+        """The footprint matrix as fixed-width text."""
+        names = self.activities
+        width = max((len(n) for n in names), default=4) + 1
+        header = " " * width + "".join(f"{n:>{width}}" for n in names)
+        lines = [header]
+        for row in names:
+            cells = []
+            for column in names:
+                if row == column:
+                    cells.append(f"{'.':>{width}}")
+                else:
+                    cells.append(f"{str(self.relation(row, column)):>{width}}")
+            lines.append(f"{row:>{width}}" + "".join(cells))
+        return "\n".join(lines)
+
+
+def footprint(log: Log, *, noise: float = 0.0) -> Footprint:
+    """Compute the footprint of ``log``.
+
+    ``noise`` in ``[0, 0.5)``: a direction counts as present only if it
+    carries more than ``noise`` of the pair's combined directly-follows
+    weight (0.0 = the classic alpha relations).
+    """
+    if not 0.0 <= noise < 0.5:
+        raise ValueError("noise must be in [0, 0.5)")
+    counts: dict[tuple[str, str], int] = {}
+    activities: set[str] = set()
+    for wid in log.wids:
+        trace = [r for r in log.instance(wid) if not r.is_sentinel]
+        activities.update(r.activity for r in trace)
+        for earlier, later in zip(trace, trace[1:]):
+            pair = (earlier.activity, later.activity)
+            counts[pair] = counts.get(pair, 0) + 1
+
+    relations: dict[tuple[str, str], Relation] = {}
+    names = sorted(activities)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            forward = counts.get((a, b), 0)
+            backward = counts.get((b, a), 0)
+            total = forward + backward
+            if total:
+                present_forward = forward > noise * total
+                present_backward = backward > noise * total
+            else:
+                present_forward = present_backward = False
+            if present_forward and present_backward:
+                relations[(a, b)] = relations[(b, a)] = Relation.PARALLEL
+            elif present_forward:
+                relations[(a, b)] = Relation.CAUSALITY
+                relations[(b, a)] = Relation.REVERSE
+            elif present_backward:
+                relations[(b, a)] = Relation.CAUSALITY
+                relations[(a, b)] = Relation.REVERSE
+            else:
+                relations[(a, b)] = relations[(b, a)] = Relation.EXCLUSIVE
+    return Footprint(
+        activities=tuple(names),
+        relations=relations,
+        follows_counts=counts,
+    )

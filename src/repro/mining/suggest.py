@@ -1,0 +1,139 @@
+"""Query suggestion from mined structure.
+
+Turns footprint knowledge into incident-pattern queries an analyst can
+review — the paper's "constructing queries from business principles"
+suggestion (Conclusion), automated from the log itself:
+
+* a **dominant ordering** ``a`` before ``b`` with a handful of inverted
+  occurrences suggests the anomaly query ``b ⊳ a`` ("who did these the
+  wrong way round?");
+* a **causality** ``a → b`` suggests the compliance query ``a ⊳ b``
+  and its ⊙-strengthening when the pair is always adjacent;
+* a **parallel pair** suggests the ``a ⊕ b`` inspection query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.anomaly import AnomalyRule, RuleSet
+from repro.core.model import Log
+from repro.core.pattern import Pattern, act
+from repro.mining.footprint import Footprint, Relation, footprint
+
+__all__ = ["SuggestedPattern", "suggest_patterns", "suggest_anomaly_rules"]
+
+
+@dataclass(frozen=True)
+class SuggestedPattern:
+    """One mined query candidate with its supporting evidence."""
+
+    pattern: Pattern
+    kind: str  # "inverted-order" | "causality" | "adjacency" | "parallel"
+    evidence: str
+
+    def __str__(self) -> str:
+        return f"{self.pattern}  [{self.kind}: {self.evidence}]"
+
+
+def suggest_patterns(
+    log: Log,
+    *,
+    max_inversion_rate: float = 0.1,
+    min_support: int = 3,
+) -> list[SuggestedPattern]:
+    """Mine candidate queries from ``log``.
+
+    Parameters
+    ----------
+    max_inversion_rate:
+        An ordering counts as *dominant-with-exceptions* when the minority
+        direction carries at most this fraction of the pair's
+        directly-follows weight (and at least one occurrence) — those
+        exceptions are the interesting anomalies.
+    min_support:
+        Ignore pairs seen fewer than this many times in total.
+    """
+    mined = footprint(log)
+    suggestions: list[SuggestedPattern] = []
+    names = mined.activities
+
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            forward = mined.follows_counts.get((a, b), 0)
+            backward = mined.follows_counts.get((b, a), 0)
+            total = forward + backward
+            if total < min_support:
+                continue
+            majority, minority = (a, b), (b, a)
+            if backward > forward:
+                majority, minority = minority, majority
+            minority_count = mined.follows_counts.get(minority, 0)
+            if 0 < minority_count <= max_inversion_rate * total:
+                suggestions.append(
+                    SuggestedPattern(
+                        pattern=act(minority[0]) >> act(minority[1]),
+                        kind="inverted-order",
+                        evidence=(
+                            f"{majority[0]}→{majority[1]} holds "
+                            f"{total - minority_count}/{total} times; "
+                            f"{minority_count} inversion(s)"
+                        ),
+                    )
+                )
+
+    for a, b in mined.causal_pairs():
+        forward = mined.follows_counts.get((a, b), 0)
+        if forward < min_support:
+            continue
+        suggestions.append(
+            SuggestedPattern(
+                pattern=act(a) >> act(b),
+                kind="causality",
+                evidence=f"{a}→{b} with {forward} direct successions",
+            )
+        )
+
+    for a, b in mined.parallel_pairs():
+        support = mined.follows_counts.get((a, b), 0) + mined.follows_counts.get(
+            (b, a), 0
+        )
+        if support < min_support:
+            continue
+        suggestions.append(
+            SuggestedPattern(
+                pattern=act(a) & act(b),
+                kind="parallel",
+                evidence=f"{a}||{b} observed in both orders ({support} adjacencies)",
+            )
+        )
+    return suggestions
+
+
+def suggest_anomaly_rules(
+    log: Log,
+    *,
+    max_inversion_rate: float = 0.1,
+    min_support: int = 3,
+) -> RuleSet:
+    """Package the *inverted-order* suggestions as an anomaly
+    :class:`~repro.analytics.anomaly.RuleSet` ready to run or monitor."""
+    rules = RuleSet()
+    for index, suggestion in enumerate(
+        suggest_patterns(
+            log,
+            max_inversion_rate=max_inversion_rate,
+            min_support=min_support,
+        )
+    ):
+        if suggestion.kind != "inverted-order":
+            continue
+        rules.add(
+            AnomalyRule(
+                name=f"mined-inversion-{index:02d}",
+                pattern=suggestion.pattern,
+                description=f"mined from the log: {suggestion.evidence}",
+                severity="info",
+            )
+        )
+    return rules

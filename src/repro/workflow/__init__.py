@@ -1,0 +1,67 @@
+"""Workflow-execution substrate.
+
+The paper's framework (its Figure 2) has a *workflow execution engine*
+advancing many instances concurrently while appending their activity
+executions — with input/output attribute maps — to a shared log.  This
+package simulates that engine:
+
+* :mod:`repro.workflow.spec` — block-structured process specifications
+  (tasks, sequence, exclusive/parallel gateways, loops, optional blocks)
+  with attribute read/write effects;
+* :mod:`repro.workflow.engine` — a multi-instance interpreter that
+  interleaves instances under a pluggable scheduler and emits well-formed
+  logs (Definition 2 by construction);
+* :mod:`repro.workflow.scheduler` — interleaving policies;
+* :mod:`repro.workflow.models` — ready-made processes, including the
+  medical-clinic referral workflow of the paper's Example 2 which
+  regenerates logs shaped like Figure 3;
+* :mod:`repro.workflow.analysis` — static may-analysis of specs and
+  sound refutation of unsatisfiable incident queries (`may_match`).
+"""
+
+from repro.workflow.analysis import (
+    ModelProfile,
+    analyze,
+    explain_mismatch,
+    may_match,
+)
+from repro.workflow.engine import SimulationConfig, WorkflowEngine
+from repro.workflow.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    WeightedScheduler,
+)
+from repro.workflow.spec import (
+    ActivityDef,
+    Block,
+    Loop,
+    Maybe,
+    Par,
+    Sequence,
+    Step,
+    WorkflowSpec,
+    Xor,
+)
+
+__all__ = [
+    "ModelProfile",
+    "analyze",
+    "may_match",
+    "explain_mismatch",
+    "WorkflowSpec",
+    "ActivityDef",
+    "Block",
+    "Step",
+    "Sequence",
+    "Xor",
+    "Par",
+    "Loop",
+    "Maybe",
+    "WorkflowEngine",
+    "SimulationConfig",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "WeightedScheduler",
+]

@@ -1,0 +1,20 @@
+"""Ready-made workflow models.
+
+* :func:`~repro.workflow.models.clinic.clinic_referral_workflow` — the
+  college-clinic medical referral process of the paper's Example 2, whose
+  simulated logs have the shape of Figure 3;
+* :func:`~repro.workflow.models.order.order_fulfillment_workflow` — an
+  e-commerce order process with parallel pick/pack and payment retries;
+* :func:`~repro.workflow.models.loan.loan_approval_workflow` — a loan
+  origination process with an auto/manual review choice.
+"""
+
+from repro.workflow.models.clinic import clinic_referral_workflow
+from repro.workflow.models.loan import loan_approval_workflow
+from repro.workflow.models.order import order_fulfillment_workflow
+
+__all__ = [
+    "clinic_referral_workflow",
+    "order_fulfillment_workflow",
+    "loan_approval_workflow",
+]

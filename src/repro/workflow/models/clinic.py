@@ -1,0 +1,193 @@
+"""The medical-clinic referral workflow (Example 2 / Figure 3 of the paper).
+
+College clinics refer students to local hospitals.  Each referral carries
+a budget (``balance``, the maximum reimbursable amount).  The student gets
+a referral, checks in at the hospital, then repeatedly sees a doctor, pays
+for treatment (producing numbered receipts), and may take treatment; the
+referral — including the balance — may be updated when the hospital's
+diagnosis differs; finally the student is reimbursed up to the remaining
+balance and the referral completes (or is terminated early).
+
+Activity names, attributes (``hospital``, ``referId``, ``referState``,
+``balance``, ``receiptN``/``receiptNState``, ``amount``, ``reimburse``)
+and their read/write signatures mirror Figure 3's ``αin``/``αout`` columns,
+so generated logs are drop-in lookalikes of the paper's example log.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from typing import Any
+
+from repro.workflow.spec import (
+    ActivityDef,
+    Loop,
+    Maybe,
+    Sequence,
+    Step,
+    WorkflowSpec,
+    Xor,
+)
+
+__all__ = ["clinic_referral_workflow", "CLINIC_ACTIVITIES", "HOSPITALS"]
+
+HOSPITALS = ("Public Hospital", "People Hospital", "Union Hospital")
+
+#: All activity names of the clinic process (excluding sentinels).
+CLINIC_ACTIVITIES = (
+    "GetRefer",
+    "CheckIn",
+    "SeeDoctor",
+    "PayTreatment",
+    "TakeTreatment",
+    "UpdateRefer",
+    "GetReimburse",
+    "CompleteRefer",
+    "TerminateRefer",
+)
+
+
+def _get_refer(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {
+        "hospital": rng.choice(HOSPITALS),
+        "referId": f"{rng.randrange(16**5):05x}",
+        "referState": "start",
+        "balance": rng.choice((500, 1000, 2000, 5000, 8000)),
+    }
+
+
+def _check_in(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"referState": "active"}
+
+
+def _pay_treatment(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    index = state.get("receiptCount", 0) + 1
+    fee = rng.randrange(60, 8000, 20)
+    return {
+        f"receipt{index}": fee,
+        f"receipt{index}State": "active",
+        "receiptCount": index,
+    }
+
+
+def _update_refer(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"balance": state.get("balance", 0) + rng.choice((1000, 2000, 3000))}
+
+
+def _get_reimburse(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    receipt_count = state.get("receiptCount", 0)
+    amount = sum(state.get(f"receipt{i}", 0) for i in range(1, receipt_count + 1))
+    balance = state.get("balance", 0)
+    reimburse = min(amount, balance)
+    written: dict[str, Any] = {
+        "amount": amount,
+        "reimburse": reimburse,
+        "balance": balance - reimburse,
+    }
+    for i in range(1, receipt_count + 1):
+        written[f"receipt{i}State"] = "complete"
+    return written
+
+
+def _complete_refer(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"referState": "complete"}
+
+
+def _terminate_refer(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"referState": "terminated"}
+
+
+def _receipt_attrs(state_keys: int = 6) -> tuple[str, ...]:
+    """Receipt attribute names receipt1..receiptN and their states."""
+    names: list[str] = []
+    for i in range(1, state_keys + 1):
+        names.append(f"receipt{i}")
+        names.append(f"receipt{i}State")
+    return tuple(names)
+
+
+def clinic_referral_workflow(
+    *,
+    update_probability: float = 0.35,
+    terminate_probability: float = 0.1,
+    max_visits: int = 4,
+) -> WorkflowSpec:
+    """Build the clinic referral :class:`~repro.workflow.spec.WorkflowSpec`.
+
+    Parameters
+    ----------
+    update_probability:
+        Chance that a referral is updated during the hospital visits —
+        these instances are the ones found by the paper's running query
+        ``UpdateRefer ⊳ GetReimburse``.
+    terminate_probability:
+        Chance the student terminates the referral instead of completing
+        the reimbursement path.
+    max_visits:
+        Maximum SeeDoctor/PayTreatment rounds per referral.
+    """
+    receipts = _receipt_attrs(max_visits + 2)
+    visit = Sequence(
+        "SeeDoctor",
+        Maybe(Sequence("PayTreatment", Maybe("TakeTreatment", 0.4)), 0.85),
+        Maybe("UpdateRefer", update_probability),
+    )
+    root = Sequence(
+        "GetRefer",
+        "CheckIn",
+        Loop(visit, again=0.55, max_iterations=max_visits),
+        Xor(
+            Sequence("GetReimburse", "CompleteRefer"),
+            Step("TerminateRefer"),
+            weights=(1.0 - terminate_probability, terminate_probability),
+        ),
+    )
+    definitions = [
+        ActivityDef(
+            "GetRefer",
+            writes=("hospital", "referId", "referState", "balance"),
+            effect=_get_refer,
+        ),
+        ActivityDef(
+            "CheckIn",
+            reads=("referId", "referState", "balance"),
+            writes=("referState",),
+            effect=_check_in,
+        ),
+        ActivityDef("SeeDoctor", reads=("referId", "referState")),
+        ActivityDef(
+            "PayTreatment",
+            reads=("referId", "referState"),
+            writes=(*receipts, "receiptCount"),
+            effect=_pay_treatment,
+        ),
+        ActivityDef("TakeTreatment", reads=("referId", "receiptCount")),
+        ActivityDef(
+            "UpdateRefer",
+            reads=("referId", "referState", "balance"),
+            writes=("balance",),
+            effect=_update_refer,
+        ),
+        ActivityDef(
+            "GetReimburse",
+            reads=("referState", "balance", "receiptCount", *receipts),
+            writes=("amount", "balance", "reimburse", *receipts),
+            effect=_get_reimburse,
+        ),
+        ActivityDef(
+            "CompleteRefer",
+            reads=("referState", "balance"),
+            writes=("referState",),
+            effect=_complete_refer,
+        ),
+        ActivityDef(
+            "TerminateRefer",
+            reads=("referState",),
+            writes=("referState",),
+            effect=_terminate_refer,
+        ),
+    ]
+    return WorkflowSpec.from_definitions(
+        "clinic-referral", root, definitions, initial_attrs=dict
+    )

@@ -1,0 +1,131 @@
+"""Loan-origination workflow.
+
+A third process with a pronounced choice structure: credit scoring routes
+applications to an automatic approval or a manual review, reviews can
+request extra documents in a loop, and approved loans are signed and
+disbursed.  Useful for choice-heavy query benchmarks (⊗ chains) and for
+compliance-style anomaly queries ("disbursed without approval").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from typing import Any
+
+from repro.workflow.spec import (
+    ActivityDef,
+    Loop,
+    Maybe,
+    Sequence,
+    WorkflowSpec,
+    Xor,
+)
+
+__all__ = ["loan_approval_workflow", "LOAN_ACTIVITIES"]
+
+LOAN_ACTIVITIES = (
+    "SubmitApplication",
+    "CreditCheck",
+    "AutoApprove",
+    "ManualReview",
+    "RequestDocuments",
+    "ReceiveDocuments",
+    "Approve",
+    "Reject",
+    "SignContract",
+    "Disburse",
+    "NotifyRejection",
+)
+
+
+def _submit(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {
+        "applicationId": f"app-{rng.randrange(10**6):06d}",
+        "amount": rng.choice((5_000, 10_000, 25_000, 50_000, 100_000)),
+        "loanState": "submitted",
+    }
+
+
+def _credit_check(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"creditScore": rng.randint(300, 850)}
+
+
+def _approve(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"loanState": "approved"}
+
+
+def _reject(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"loanState": "rejected"}
+
+
+def _disburse(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"loanState": "disbursed", "disbursedAmount": state.get("amount", 0)}
+
+
+def loan_approval_workflow(
+    *,
+    auto_approve_probability: float = 0.3,
+    reject_probability: float = 0.25,
+) -> WorkflowSpec:
+    """Build the loan-approval :class:`~repro.workflow.spec.WorkflowSpec`."""
+    review = Sequence(
+        "ManualReview",
+        Maybe(
+            Loop(Sequence("RequestDocuments", "ReceiveDocuments"), again=0.3,
+                 max_iterations=3),
+            0.4,
+        ),
+    )
+    funding = Sequence("SignContract", "Disburse")
+    # routing follows the decision: only approved loans are funded, and
+    # rejected ones are only notified — "Reject ⊳ Disburse" is therefore
+    # unsatisfiable on honest logs (the anomaly rule catches forgeries)
+    decision = Xor(
+        Sequence("AutoApprove", funding),
+        Sequence(review, "Approve", funding),
+        Sequence(review, "Reject", "NotifyRejection"),
+        weights=(
+            auto_approve_probability,
+            (1.0 - auto_approve_probability) * (1.0 - reject_probability),
+            (1.0 - auto_approve_probability) * reject_probability,
+        ),
+    )
+    root = Sequence("SubmitApplication", "CreditCheck", decision)
+    definitions = [
+        ActivityDef(
+            "SubmitApplication",
+            writes=("applicationId", "amount", "loanState"),
+            effect=_submit,
+        ),
+        ActivityDef(
+            "CreditCheck",
+            reads=("applicationId",),
+            writes=("creditScore",),
+            effect=_credit_check,
+        ),
+        ActivityDef(
+            "AutoApprove",
+            reads=("creditScore",),
+            writes=("loanState",),
+            effect=_approve,
+        ),
+        ActivityDef("ManualReview", reads=("applicationId", "creditScore")),
+        ActivityDef("RequestDocuments", reads=("applicationId",)),
+        ActivityDef("ReceiveDocuments", reads=("applicationId",)),
+        ActivityDef(
+            "Approve", reads=("creditScore",), writes=("loanState",), effect=_approve
+        ),
+        ActivityDef(
+            "Reject", reads=("creditScore",), writes=("loanState",), effect=_reject
+        ),
+        ActivityDef("SignContract", reads=("applicationId", "loanState")),
+        ActivityDef(
+            "Disburse",
+            reads=("applicationId", "amount", "loanState"),
+            writes=("loanState", "disbursedAmount"),
+            effect=_disburse,
+        ),
+        ActivityDef("NotifyRejection", reads=("applicationId", "loanState")),
+    ]
+    return WorkflowSpec.from_definitions("loan-approval", root, definitions)

@@ -1,0 +1,129 @@
+"""E-commerce order-fulfillment workflow.
+
+A second realistic process exercising every gateway type: payment
+validation with a retry loop, genuinely *parallel* warehouse picking and
+packing (an AND gateway whose interleavings the ⊕ operator matches),
+an exclusive shipping choice, and an optional return/refund tail.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from typing import Any
+
+from repro.workflow.spec import (
+    ActivityDef,
+    Loop,
+    Maybe,
+    Par,
+    Sequence,
+    WorkflowSpec,
+    Xor,
+)
+
+__all__ = ["order_fulfillment_workflow", "ORDER_ACTIVITIES"]
+
+ORDER_ACTIVITIES = (
+    "PlaceOrder",
+    "ValidatePayment",
+    "PaymentFailed",
+    "PickItems",
+    "PackItems",
+    "PrintLabel",
+    "ShipExpress",
+    "ShipStandard",
+    "Deliver",
+    "RequestReturn",
+    "Refund",
+)
+
+
+def _place_order(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {
+        "orderId": f"ord-{rng.randrange(10**6):06d}",
+        "total": round(rng.uniform(5, 900), 2),
+        "items": rng.randint(1, 8),
+        "orderState": "placed",
+    }
+
+
+def _validate_payment(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"paymentState": "authorized"}
+
+
+def _payment_failed(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"paymentState": "failed", "retries": state.get("retries", 0) + 1}
+
+
+def _deliver(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"orderState": "delivered"}
+
+
+def _refund(state: Mapping[str, Any], rng: random.Random) -> dict[str, Any]:
+    return {"orderState": "refunded", "refundAmount": state.get("total", 0)}
+
+
+def order_fulfillment_workflow(
+    *,
+    payment_failure_probability: float = 0.2,
+    return_probability: float = 0.12,
+) -> WorkflowSpec:
+    """Build the order-fulfillment :class:`~repro.workflow.spec.WorkflowSpec`."""
+    payment = Sequence(
+        Loop(
+            Xor(
+                "ValidatePayment",
+                Sequence("PaymentFailed"),
+                weights=(
+                    1.0 - payment_failure_probability,
+                    payment_failure_probability,
+                ),
+            ),
+            again=payment_failure_probability * 0.9,
+            max_iterations=3,
+        ),
+    )
+    warehouse = Par(
+        "PickItems",
+        Sequence("PackItems", "PrintLabel"),
+    )
+    shipping = Xor("ShipExpress", "ShipStandard", weights=(0.3, 0.7))
+    returns = Maybe(Sequence("RequestReturn", "Refund"), return_probability)
+    root = Sequence("PlaceOrder", payment, warehouse, shipping, "Deliver", returns)
+
+    definitions = [
+        ActivityDef(
+            "PlaceOrder",
+            writes=("orderId", "total", "items", "orderState"),
+            effect=_place_order,
+        ),
+        ActivityDef(
+            "ValidatePayment",
+            reads=("orderId", "total"),
+            writes=("paymentState",),
+            effect=_validate_payment,
+        ),
+        ActivityDef(
+            "PaymentFailed",
+            reads=("orderId",),
+            writes=("paymentState", "retries"),
+            effect=_payment_failed,
+        ),
+        ActivityDef("PickItems", reads=("orderId", "items")),
+        ActivityDef("PackItems", reads=("orderId", "items")),
+        ActivityDef("PrintLabel", reads=("orderId",)),
+        ActivityDef("ShipExpress", reads=("orderId",)),
+        ActivityDef("ShipStandard", reads=("orderId",)),
+        ActivityDef(
+            "Deliver", reads=("orderId",), writes=("orderState",), effect=_deliver
+        ),
+        ActivityDef("RequestReturn", reads=("orderId", "orderState")),
+        ActivityDef(
+            "Refund",
+            reads=("orderId", "total"),
+            writes=("orderState", "refundAmount"),
+            effect=_refund,
+        ),
+    ]
+    return WorkflowSpec.from_definitions("order-fulfillment", root, definitions)

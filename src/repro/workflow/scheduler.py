@@ -1,0 +1,67 @@
+"""Interleaving policies for the workflow engine.
+
+At every step the engine asks its scheduler which ready instance executes
+next; the answer determines how instance records interleave in the global
+log (the ``wid`` column pattern of Figure 3)."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+__all__ = [
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "WeightedScheduler",
+]
+
+
+class Scheduler(ABC):
+    """Chooses, among the ready workflow instances, which runs next."""
+
+    @abstractmethod
+    def pick(self, ready: Sequence[int], rng: random.Random) -> int:
+        """Return one wid from ``ready`` (nonempty, ascending)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through instances fairly: always pick the ready instance
+    least recently run."""
+
+    def __init__(self) -> None:
+        self._last_pick: dict[int, int] = {}
+        self._clock = 0
+
+    def pick(self, ready: Sequence[int], rng: random.Random) -> int:
+        choice = min(ready, key=lambda w: (self._last_pick.get(w, -1), w))
+        self._clock += 1
+        self._last_pick[choice] = self._clock
+        return choice
+
+
+class RandomScheduler(Scheduler):
+    """Pick a ready instance uniformly at random — maximal interleaving
+    noise, the default for benchmark log generation."""
+
+    def pick(self, ready: Sequence[int], rng: random.Random) -> int:
+        return rng.choice(list(ready))
+
+
+class WeightedScheduler(Scheduler):
+    """Pick ready instances with probability proportional to a per-wid
+    weight (default 1.0) — models fast and slow instances coexisting."""
+
+    def __init__(self, weights: dict[int, float] | None = None, default: float = 1.0):
+        if default <= 0:
+            raise ValueError("default weight must be positive")
+        self.weights = dict(weights or {})
+        self.default = default
+
+    def pick(self, ready: Sequence[int], rng: random.Random) -> int:
+        ready = list(ready)
+        weights = [max(self.weights.get(w, self.default), 0.0) for w in ready]
+        if sum(weights) <= 0:
+            return rng.choice(ready)
+        return rng.choices(ready, weights=weights, k=1)[0]

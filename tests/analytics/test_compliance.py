@@ -1,0 +1,175 @@
+"""Unit tests for the DECLARE-style compliance templates."""
+
+import pytest
+
+from repro.analytics.compliance import (
+    absence,
+    chain_response,
+    check,
+    coexistence,
+    exactly_once,
+    existence,
+    init,
+    last,
+    not_succession,
+    precedence,
+    responded_existence,
+    response,
+    succession,
+)
+from repro.core.model import Log
+
+
+def trace_log(*traces):
+    return Log.from_traces(list(traces))
+
+
+class TestExistentialTemplates:
+    def test_existence(self):
+        log = trace_log(["A", "B"], ["B"])
+        result = check(log, [existence("A")]).results[0]
+        assert result.satisfied_instances == (1,)
+        assert result.violated_instances == (2,)
+        assert result.support == 0.5
+
+    def test_absence(self):
+        log = trace_log(["A", "B"], ["B"])
+        result = check(log, [absence("A")]).results[0]
+        assert result.violated_instances == (1,)
+
+    def test_exactly_once(self):
+        log = trace_log(["A"], ["A", "A"], ["B"])
+        result = check(log, [exactly_once("A")]).results[0]
+        assert result.satisfied_instances == (1,)
+        assert set(result.violated_instances) == {2, 3}
+
+    def test_init_and_last(self):
+        log = trace_log(["A", "B", "C"], ["B", "C", "A"])
+        assert check(log, [init("A")]).results[0].satisfied_instances == (1,)
+        assert check(log, [last("A")]).results[0].satisfied_instances == (2,)
+
+    def test_init_ignores_start_sentinel(self):
+        log = trace_log(["A"])
+        assert check(log, [init("A")]).results[0].holds
+
+
+class TestOrderingTemplates:
+    def test_response_holds_vacuously_without_a(self):
+        log = trace_log(["B", "C"])
+        assert check(log, [response("A", "B")]).results[0].holds
+
+    def test_response_detects_trailing_a(self):
+        log = trace_log(["A", "B", "A"])  # last A unanswered
+        assert not check(log, [response("A", "B")]).results[0].holds
+        log = trace_log(["A", "B", "A", "B"])
+        assert check(log, [response("A", "B")]).results[0].holds
+
+    def test_precedence(self):
+        assert check(
+            trace_log(["B", "A"]), [precedence("A", "B")]
+        ).results[0].violated_instances == (1,)
+        assert check(
+            trace_log(["A", "B", "B"]), [precedence("A", "B")]
+        ).results[0].holds
+        # vacuous without B
+        assert check(
+            trace_log(["A", "C"]), [precedence("A", "B")]
+        ).results[0].holds
+
+    def test_succession(self):
+        assert check(
+            trace_log(["A", "B"]), [succession("A", "B")]
+        ).results[0].holds
+        assert not check(
+            trace_log(["B", "A"]), [succession("A", "B")]
+        ).results[0].holds
+
+    def test_not_succession_matches_incident_pattern_semantics(self):
+        from repro.core.query import Query
+
+        for names in (["A", "B"], ["B", "A"], ["A", "C", "B"], ["C"]):
+            log = trace_log(names)
+            constraint = not_succession("A", "B")
+            holds = check(log, [constraint]).results[0].holds
+            has_witness = Query("A -> B").exists(log)
+            assert holds == (not has_witness), names
+
+    def test_chain_response(self):
+        assert check(
+            trace_log(["A", "B", "C", "A", "B"]), [chain_response("A", "B")]
+        ).results[0].holds
+        assert not check(
+            trace_log(["A", "C", "B"]), [chain_response("A", "B")]
+        ).results[0].holds
+        # A as the final record is unanswered
+        assert not check(
+            trace_log(["B", "A"]), [chain_response("A", "B")]
+        ).results[0].holds
+
+
+class TestRelationTemplates:
+    def test_coexistence(self):
+        constraint = coexistence("A", "B")
+        assert check(trace_log(["A", "B"]), [constraint]).results[0].holds
+        assert check(trace_log(["C"]), [constraint]).results[0].holds
+        assert not check(trace_log(["A", "C"]), [constraint]).results[0].holds
+
+    def test_responded_existence(self):
+        constraint = responded_existence("A", "B")
+        assert check(trace_log(["B", "A"]), [constraint]).results[0].holds
+        assert check(trace_log(["C"]), [constraint]).results[0].holds
+        assert not check(trace_log(["A"]), [constraint]).results[0].holds
+
+
+class TestReport:
+    def test_report_format_and_bool(self):
+        log = trace_log(["A", "B"], ["B"])
+        report = check(log, [existence("A"), existence("B")])
+        assert not report  # existence(A) violated by instance 2
+        text = report.format()
+        assert "FAIL" in text and "OK" in text and "existence(A)" in text
+
+    def test_clean_report_is_truthy(self):
+        report = check(trace_log(["A"]), [existence("A")])
+        assert report
+
+
+class TestOnRealProcesses:
+    def test_clinic_process_compliance(self, clinic_log):
+        report = check(clinic_log, [
+            init("GetRefer"),
+            existence("CheckIn"),
+            precedence("CheckIn", "SeeDoctor"),
+            precedence("GetRefer", "GetReimburse"),
+            exactly_once("GetRefer"),
+            coexistence("GetReimburse", "CompleteRefer"),
+        ])
+        assert report, report.format()
+
+    def test_clinic_process_partial_support_constraint(self, clinic_log):
+        # students may see a doctor without paying, so reimbursements can
+        # precede any payment — the template quantifies how often
+        result = check(
+            clinic_log, [precedence("PayTreatment", "GetReimburse")]
+        ).results[0]
+        assert 0.5 < result.support < 1.0
+
+    def test_loan_process_compliance(self, loan_log):
+        report = check(loan_log, [
+            init("SubmitApplication"),
+            exactly_once("CreditCheck"),
+            precedence("CreditCheck", "AutoApprove"),
+            not_succession("Reject", "AutoApprove"),
+        ])
+        assert report, report.format()
+
+    def test_order_process_has_a_known_violation_pattern(self, order_log):
+        # ship-after-failed-payment CAN occur in this model (retries may
+        # end in failure yet the process ships) — support must be < 100%
+        # on some seeds but the structural rules always hold:
+        report = check(order_log, [
+            init("PlaceOrder"),
+            precedence("PackItems", "PrintLabel"),
+            response("RequestReturn", "Refund"),
+        ])
+        assert report, report.format()

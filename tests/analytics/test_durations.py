@@ -1,0 +1,138 @@
+"""Unit tests for duration analytics over timestamped logs."""
+
+import pytest
+
+from repro.analytics.durations import (
+    DurationStats,
+    activity_sojourns,
+    cycle_times,
+    incident_durations,
+    timestamp_of,
+    waiting_times,
+)
+from repro.core.model import Log, LogRecord, START, END
+from repro.core.query import Query
+from repro.workflow.engine import SimulationConfig, WorkflowEngine
+from repro.workflow.models import clinic_referral_workflow
+
+
+@pytest.fixture(scope="module")
+def timed_log() -> Log:
+    engine = WorkflowEngine(clinic_referral_workflow())
+    return engine.run(
+        SimulationConfig(instances=30, seed=77, record_timestamps=True)
+    )
+
+
+def stamped(lsn, wid, pos, activity, ts):
+    return LogRecord(lsn=lsn, wid=wid, is_lsn=pos, activity=activity,
+                     attrs_out={"_ts": ts})
+
+
+@pytest.fixture()
+def tiny_timed() -> Log:
+    return Log([
+        stamped(1, 1, 1, START, 0.0),
+        stamped(2, 1, 2, "A", 10.0),
+        stamped(3, 1, 3, "B", 25.0),
+        stamped(4, 1, 4, "A", 30.0),
+        stamped(5, 1, 5, "B", 32.0),
+        stamped(6, 1, 6, END, 40.0),
+    ])
+
+
+class TestDurationStats:
+    def test_from_samples(self):
+        stats = DurationStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.median == pytest.approx(2.0)
+        assert stats.maximum == 3.0
+
+    def test_empty_samples(self):
+        stats = DurationStats.from_samples([])
+        assert stats.count == 0 and stats.mean == 0.0
+
+    def test_format(self):
+        assert "mean=" in DurationStats.from_samples([5]).format()
+
+
+class TestTimestampOf:
+    def test_reads_output_then_input(self):
+        record = LogRecord(lsn=1, wid=1, is_lsn=1, activity=START,
+                           attrs_in={"_ts": 1.0}, attrs_out={"_ts": 2.0})
+        assert timestamp_of(record) == 2.0
+
+    def test_missing_or_bad_timestamps(self):
+        record = LogRecord(lsn=1, wid=1, is_lsn=1, activity=START)
+        assert timestamp_of(record) is None
+        bad = LogRecord(lsn=1, wid=1, is_lsn=1, activity=START,
+                        attrs_out={"_ts": "soon"})
+        assert timestamp_of(bad) is None
+
+
+class TestSojournsAndCycles:
+    def test_activity_sojourns_exact(self, tiny_timed):
+        stats = activity_sojourns(tiny_timed)
+        assert stats["A"].count == 2
+        assert stats["A"].mean == pytest.approx((10.0 + 5.0) / 2)
+        assert stats["B"].mean == pytest.approx((15.0 + 2.0) / 2)
+        assert END not in stats and START not in stats
+
+    def test_cycle_times_exact(self, tiny_timed):
+        stats = cycle_times(tiny_timed)
+        assert stats.count == 1
+        assert stats.mean == pytest.approx(40.0)
+
+    def test_incomplete_instances_excluded_from_cycles(self):
+        log = Log([stamped(1, 1, 1, START, 0.0), stamped(2, 1, 2, "A", 5.0)])
+        assert cycle_times(log).count == 0
+
+    def test_untimestamped_log_raises(self, figure3_log):
+        with pytest.raises(ValueError):
+            activity_sojourns(figure3_log)
+        with pytest.raises(ValueError):
+            cycle_times(figure3_log)
+
+    def test_on_simulated_clinic(self, timed_log):
+        sojourns = activity_sojourns(timed_log)
+        assert sojourns["CheckIn"].count == 30
+        assert sojourns["CheckIn"].mean > 0
+        cycles = cycle_times(timed_log)
+        assert cycles.count == 30
+        # cycle time covers at least the per-step gaps of the instance
+        assert cycles.mean > sojourns["CheckIn"].mean
+
+
+class TestIncidentDurations:
+    def test_exact_window(self, tiny_timed):
+        incidents = Query("A -> B").run(tiny_timed)
+        stats = incident_durations(incidents)
+        # pairs: (10,25) 15s, (10,32) 22s, (30,32) 2s
+        assert stats.count == 3
+        assert stats.maximum == pytest.approx(22.0)
+
+    def test_paper_question_on_simulated_log(self, timed_log):
+        incidents = Query("UpdateRefer -> GetReimburse").run(timed_log)
+        stats = incident_durations(incidents)
+        assert stats.count == len(incidents)
+        if stats.count:
+            assert stats.mean > 0
+
+    def test_untimestamped_incidents_are_skipped(self, figure3_log):
+        incidents = Query("UpdateRefer -> GetReimburse").run(figure3_log)
+        assert incident_durations(incidents).count == 0
+
+
+class TestWaitingTimes:
+    def test_first_to_next_then(self, tiny_timed):
+        stats = waiting_times(tiny_timed, "A", "B")
+        assert stats.count == 2
+        assert stats.mean == pytest.approx((15.0 + 2.0) / 2)
+
+    def test_unanswered_first_ignored(self):
+        log = Log([
+            stamped(1, 1, 1, START, 0.0),
+            stamped(2, 1, 2, "A", 1.0),
+        ])
+        assert waiting_times(log, "A", "B").count == 0

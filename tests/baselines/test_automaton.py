@@ -1,0 +1,112 @@
+"""Unit tests for the CEP/automaton baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.automaton import AutomatonBaseline, ChainMatcher, supports
+from repro.core.algebra import random_logs
+from repro.core.errors import EvaluationError
+from repro.core.incident import reference_incidents
+from repro.core.model import Log
+from repro.core.parser import parse
+from repro.core.pattern import random_pattern
+
+
+class TestSupports:
+    def test_sequential_fragment_supported(self):
+        assert supports(parse("A -> (B ; C) | D"))
+
+    def test_parallel_rejected(self):
+        assert not supports(parse("A & B"))
+        assert not supports(parse("A -> (B & C)"))
+
+    def test_windowed_sequential_rejected(self):
+        assert not supports(parse("A ->[3] B"))
+
+    def test_constructor_raises_on_unsupported(self):
+        with pytest.raises(EvaluationError):
+            ChainMatcher(parse("A & B"))
+
+
+class TestChainCompilation:
+    def test_single_chain_for_pure_sequence(self):
+        matcher = ChainMatcher(parse("A -> B ; C"))
+        assert len(matcher.chains) == 1
+        attachments = [attach for __, attach in matcher.chains[0]]
+        assert attachments == ["start", "after", "adjacent"]
+
+    def test_choice_multiplies_chains(self):
+        matcher = ChainMatcher(parse("(A | B) -> (C | D)"))
+        assert len(matcher.chains) == 4
+
+    def test_right_nested_gap_order(self):
+        matcher = ChainMatcher(parse("A -> (B -> (C ; D))"))
+        attachments = [attach for __, attach in matcher.chains[0]]
+        assert attachments == ["start", "after", "after", "adjacent"]
+
+
+class TestExistsNfa:
+    def test_adjacent_step_requires_backtracking(self):
+        # greedy matching would bind the first B and miss the match
+        log = Log.from_traces([["B", "X", "B", "C"]])
+        assert AutomatonBaseline().exists(log, parse("B ; C"))
+
+    def test_no_match_cases(self):
+        log = Log.from_traces([["A", "B"]])
+        baseline = AutomatonBaseline()
+        assert not baseline.exists(log, parse("B -> A"))
+        assert not baseline.exists(log, parse("A ; A"))
+
+    def test_exists_agrees_with_oracle_randomized(self):
+        rng = random.Random(17)
+        logs = random_logs("ABC", cases=8, seed=29)
+        baseline = AutomatonBaseline()
+        checked = 0
+        while checked < 50:
+            log = rng.choice(logs)
+            pattern = random_pattern(rng, "ABC", max_depth=4)
+            if not supports(pattern):
+                continue
+            checked += 1
+            assert baseline.exists(log, pattern) == bool(
+                reference_incidents(log, pattern)
+            ), str(pattern)
+
+
+class TestEnumeration:
+    def test_matches_paper_example(self, figure3_log):
+        baseline = AutomatonBaseline()
+        result = baseline.evaluate(
+            figure3_log, parse("SeeDoctor -> (UpdateRefer -> GetReimburse)")
+        )
+        assert result.lsn_sets() == {frozenset({13, 14, 20})}
+
+    def test_matches_agree_with_oracle_randomized(self):
+        rng = random.Random(19)
+        logs = random_logs("ABC", cases=8, seed=37)
+        baseline = AutomatonBaseline()
+        checked = 0
+        while checked < 50:
+            log = rng.choice(logs)
+            pattern = random_pattern(rng, "ABC", max_depth=4)
+            if not supports(pattern):
+                continue
+            checked += 1
+            assert baseline.evaluate(log, pattern) == reference_incidents(
+                log, pattern
+            ), str(pattern)
+
+    def test_negated_atoms_in_chains(self):
+        log = Log.from_traces([["A", "X", "B"]])
+        result = AutomatonBaseline().evaluate(log, parse("A ; !B"))
+        assert result.lsn_sets() == {frozenset({2, 3})}
+
+    def test_budget_is_enforced(self):
+        from repro.core.errors import BudgetExceededError
+        from repro.generator.synthetic import worst_case_log
+
+        log = worst_case_log(40)
+        baseline = AutomatonBaseline(max_incidents=10)
+        with pytest.raises(BudgetExceededError):
+            baseline.evaluate(log, parse("t -> t"))

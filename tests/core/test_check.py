@@ -1,0 +1,110 @@
+"""Tests for incident membership checking and provenance."""
+
+import random
+
+import pytest
+
+from repro.core.check import assignment, is_incident
+from repro.core.incident import Incident, reference_incidents
+from repro.core.model import Log, LogRecord
+from repro.core.parser import parse
+from repro.core.pattern import random_pattern
+from repro.core.algebra import random_logs
+
+
+class TestIsIncident:
+    def test_paper_example_members(self, figure3_log):
+        pattern = parse("SeeDoctor -> (UpdateRefer -> GetReimburse)")
+        good = [figure3_log.record(n) for n in (13, 14, 20)]
+        assert is_incident(pattern, good)
+        # wrong SeeDoctor (l17 is after UpdateRefer)
+        bad = [figure3_log.record(n) for n in (17, 14, 20)]
+        assert not is_incident(pattern, bad)
+
+    def test_atomic_membership(self, figure3_log):
+        assert is_incident(parse("CheckIn"), [figure3_log.record(4)])
+        assert not is_incident(parse("CheckIn"), [figure3_log.record(9)])
+        assert is_incident(parse("!CheckIn"), [figure3_log.record(9)])
+
+    def test_wrong_cardinality(self, figure3_log):
+        assert not is_incident(parse("A"), [figure3_log.record(1),
+                                            figure3_log.record(3)])
+        assert not is_incident(parse("A -> B"), [figure3_log.record(1)])
+        assert not is_incident(parse("A"), [])
+
+    def test_cross_instance_sets_are_never_incidents(self, figure3_log):
+        records = [figure3_log.record(3), figure3_log.record(5)]  # wid 1 & 2
+        assert not is_incident(parse("GetRefer -> GetRefer"), records)
+
+    def test_consecutive_vs_sequential(self, figure3_log):
+        adj = [figure3_log.record(3), figure3_log.record(4)]  # is-lsn 2,3
+        assert is_incident(parse("GetRefer ; CheckIn"), adj)
+        gap = [figure3_log.record(3), figure3_log.record(9)]  # is-lsn 2,4
+        assert not is_incident(parse("GetRefer ; SeeDoctor"), gap)
+        assert is_incident(parse("GetRefer -> SeeDoctor"), gap)
+
+    def test_parallel_membership(self, figure3_log):
+        records = [figure3_log.record(9), figure3_log.record(10)]
+        assert is_incident(parse("SeeDoctor & PayTreatment"), records)
+        assert is_incident(parse("PayTreatment & SeeDoctor"), records)
+
+    def test_accepts_incident_objects(self, figure3_log):
+        incident = Incident([figure3_log.record(14), figure3_log.record(20)])
+        assert is_incident(parse("UpdateRefer -> GetReimburse"), incident)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_membership_agrees_with_evaluation(self, seed):
+        """Every evaluated incident must pass the checker, and sampled
+        non-incidents must fail."""
+        rng = random.Random(seed)
+        logs = random_logs("ABC", cases=5, seed=seed + 200)
+        for __ in range(15):
+            log = rng.choice(logs)
+            pattern = random_pattern(rng, "ABC", max_depth=3)
+            incidents = reference_incidents(log, pattern)
+            for incident in incidents:
+                assert is_incident(pattern, incident), (str(pattern), incident)
+            # sample record subsets and cross-check against the oracle
+            records = list(log.records)
+            for __ in range(5):
+                size = rng.randint(1, min(4, len(records)))
+                subset = rng.sample(records, size)
+                expected = any(
+                    set(subset) == set(o.records) for o in incidents
+                )
+                assert is_incident(pattern, subset) == expected, str(pattern)
+
+
+class TestAssignment:
+    def test_witness_for_paper_example(self, figure3_log):
+        pattern = parse("SeeDoctor -> (UpdateRefer -> GetReimburse)")
+        witness = assignment(
+            pattern, [figure3_log.record(n) for n in (13, 14, 20)]
+        )
+        assert witness is not None
+        assert [(i, leaf.name, record.lsn) for i, leaf, record in witness] == [
+            (0, "SeeDoctor", 13), (1, "UpdateRefer", 14),
+            (2, "GetReimburse", 20),
+        ]
+
+    def test_no_witness_for_non_incident(self, figure3_log):
+        pattern = parse("UpdateRefer -> GetReimburse")
+        assert assignment(pattern, [figure3_log.record(20),
+                                    figure3_log.record(15)]) is None
+
+    def test_choice_witness_uses_global_leaf_positions(self, figure3_log):
+        pattern = parse("(Ghost | CheckIn) -> SeeDoctor")
+        witness = assignment(
+            pattern, [figure3_log.record(4), figure3_log.record(9)]
+        )
+        assert witness is not None
+        positions = [i for i, __, ___ in witness]
+        assert positions == [1, 2]  # CheckIn is leaf #1, SeeDoctor #2
+
+    def test_parallel_witness_covers_all_leaves(self, figure3_log):
+        pattern = parse("SeeDoctor & PayTreatment")
+        witness = assignment(
+            pattern, [figure3_log.record(10), figure3_log.record(9)]
+        )
+        names = {leaf.name for __, leaf, ___ in witness}
+        assert names == {"SeeDoctor", "PayTreatment"}

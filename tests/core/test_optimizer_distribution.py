@@ -1,0 +1,61 @@
+"""Tests for the cost-guarded Theorem 5 distribution and estimator
+behaviour under extreme logs."""
+
+import pytest
+
+from repro.core.incident import reference_incidents
+from repro.core.model import Log
+from repro.core.optimizer import CostModel, LogStatistics, Optimizer
+from repro.core.parser import parse
+
+
+@pytest.fixture()
+def one_sided_log() -> Log:
+    """Activity Z never occurs; H floods the log."""
+    return Log.from_traces([["H"] * 30 + ["M"] * 2] * 8)
+
+
+class TestCostGuardedDistribution:
+    def test_distribution_fires_when_a_branch_is_dead(self, one_sided_log):
+        # H -> (Z | M): distributing lets (H -> Z) be estimated at zero
+        plan = Optimizer.for_log(one_sided_log).optimize(parse("H -> (Z | M)"))
+        if "distribution" in " ".join(plan.transformations):
+            assert plan.optimized_cost <= plan.original_cost
+        # regardless of the decision, semantics hold
+        assert reference_incidents(one_sided_log, plan.optimized) == (
+            reference_incidents(one_sided_log, parse("H -> (Z | M)"))
+        )
+
+    def test_distribution_not_applied_when_it_hurts(self, one_sided_log):
+        # both branches alive and heavy: duplicating H would double work
+        plan = Optimizer.for_log(one_sided_log).optimize(parse("H -> (M | M)"))
+        # dedup-choice collapses M | M first; either way the estimated
+        # cost must not exceed the original
+        assert plan.optimized_cost <= plan.original_cost * 1.0001
+
+
+class TestEstimatorExtremes:
+    def test_zero_cardinality_pattern(self, one_sided_log):
+        model = CostModel(LogStatistics.from_log(one_sided_log))
+        assert model.cardinality(parse("Z")) == 0.0
+        assert model.cardinality(parse("Z -> H")) == 0.0
+        assert model.plan_cost(parse("Z -> H")) >= 0.0
+
+    def test_negated_atom_cardinality(self, one_sided_log):
+        model = CostModel(LogStatistics.from_log(one_sided_log))
+        total = model.stats.total_records
+        assert model.cardinality(parse("!H")) == total - model.stats.count("H")
+
+    def test_windowed_estimate_below_unbounded(self, one_sided_log):
+        model = CostModel(LogStatistics.from_log(one_sided_log))
+        unbounded = model.cardinality(parse("H -> H"))
+        windowed = model.cardinality(parse("H ->[1] H"))
+        assert windowed < unbounded
+
+    def test_single_instance_statistics(self):
+        log = Log.from_traces([["A", "B"]])
+        stats = LogStatistics.from_log(log)
+        assert stats.instance_count == 1
+        assert stats.mean_instance_length == 4.0
+        model = CostModel(stats)
+        assert model.cardinality(parse("A -> B")) > 0

@@ -1,0 +1,182 @@
+"""Unit tests for the pattern algebra AST and DSL (Definition 3)."""
+
+import random
+
+import pytest
+
+from repro.core.model import LogRecord
+from repro.core.pattern import (
+    Atomic,
+    BinaryPattern,
+    Choice,
+    Consecutive,
+    Parallel,
+    Sequential,
+    act,
+    choice,
+    consecutive,
+    enumerate_patterns,
+    neg,
+    parallel,
+    precedence,
+    random_pattern,
+    sequential,
+    to_text,
+)
+
+
+class TestAtomic:
+    def test_positive_and_negative_atoms(self):
+        assert act("A") == Atomic("A")
+        assert neg("A") == Atomic("A", negated=True)
+        assert act("A") != neg("A")
+
+    def test_invert_flips_polarity(self):
+        assert ~act("A") == neg("A")
+        assert ~~act("A") == act("A")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Atomic("")
+
+    def test_matches_by_activity_name(self):
+        record = LogRecord(lsn=1, wid=1, is_lsn=1, activity="START")
+        assert act("START").matches(record)
+        assert not act("A").matches(record)
+        assert neg("A").matches(record)  # negation matches sentinels too
+        assert not neg("START").matches(record)
+
+    def test_atoms_are_hashable(self):
+        assert len({act("A"), Atomic("A"), neg("A")}) == 2
+
+
+class TestDSL:
+    def test_operator_overloads_build_correct_nodes(self):
+        a, b = act("A"), act("B")
+        assert isinstance(a * b, Consecutive)
+        assert isinstance(a >> b, Sequential)
+        assert isinstance(a | b, Choice)
+        assert isinstance(a & b, Parallel)
+
+    def test_strings_coerce_to_atoms(self):
+        p = act("A") >> "B"
+        assert p.right == act("B")
+
+    def test_invalid_operand_type_raises(self):
+        with pytest.raises(TypeError):
+            act("A") >> 42  # type: ignore[operator]
+
+    def test_variadic_constructors_left_fold(self):
+        p = sequential("A", "B", "C")
+        assert p == (act("A") >> act("B")) >> act("C")
+        assert consecutive("A", "B") == act("A") * act("B")
+        assert choice("A", "B", "C") == (act("A") | act("B")) | act("C")
+        assert parallel("A", "B") == act("A") & act("B")
+
+    def test_variadic_constructors_require_an_operand(self):
+        with pytest.raises(ValueError):
+            sequential()
+
+    def test_with_children_preserves_operator(self):
+        node = act("A") >> act("B")
+        rebuilt = node.with_children(act("X"), act("Y"))
+        assert isinstance(rebuilt, Sequential)
+        assert rebuilt == act("X") >> act("Y")
+
+
+class TestIntrospection:
+    def test_size_counts_leaves(self):
+        p = (act("A") >> act("B")) & (act("A") | act("C"))
+        assert p.size == 4
+
+    def test_operator_count_matches_theorem1_k(self):
+        p = (act("A") >> act("B")) & (act("A") | act("C"))
+        assert p.operator_count == 3
+
+    def test_depth(self):
+        assert act("A").depth == 1
+        assert (act("A") >> act("B")).depth == 2
+        assert ((act("A") >> act("B")) >> act("C")).depth == 3
+
+    def test_atoms_yielded_left_to_right(self):
+        p = (act("A") >> act("B")) | act("C")
+        assert [a.name for a in p.atoms()] == ["A", "B", "C"]
+
+    def test_walk_visits_every_node(self):
+        p = (act("A") >> act("B")) | act("C")
+        kinds = [type(node).__name__ for node in p.walk()]
+        assert kinds.count("Atomic") == 3
+        assert "Choice" in kinds and "Sequential" in kinds
+
+    def test_activity_multiset_distinguishes_negation(self):
+        p = act("A") >> (neg("A") >> act("A"))
+        counts = p.activity_multiset()
+        assert counts["A"] == 2
+        assert counts[("¬", "A")] == 1
+
+    def test_activity_names_ignores_negation(self):
+        p = neg("A") >> act("B")
+        assert p.activity_names() == {"A", "B"}
+
+
+class TestTextRendering:
+    @pytest.mark.parametrize("text", [
+        "A",
+        "!A",
+        "A -> B",
+        "A ; B",
+        "A | B",
+        "A & B",
+        "A -> B -> C",
+        "A -> (B -> C)",
+        "(A | B) & C",
+        "A | (B & C)",
+        "(A ; B) -> (C | D)",
+        "!A -> (B | !C)",
+    ])
+    def test_roundtrip_through_parser(self, text):
+        from repro.core.parser import parse
+
+        pattern = parse(text)
+        assert parse(to_text(pattern)) == pattern
+
+    def test_quoted_names_rendered_with_quotes(self):
+        assert to_text(act("Check In")) == '"Check In"'
+
+    def test_str_uses_to_text(self):
+        assert str(act("A") >> act("B")) == "A -> B"
+
+    def test_precedence_values(self):
+        assert precedence(act("A")) == 4
+        assert precedence(act("A") * act("B")) == 3
+        assert precedence(act("A") >> act("B")) == 3
+        assert precedence(act("A") & act("B")) == 2
+        assert precedence(act("A") | act("B")) == 1
+
+
+class TestGenerators:
+    def test_random_pattern_is_deterministic_per_seed(self):
+        a = random_pattern(random.Random(5), "ABC", max_depth=4)
+        b = random_pattern(random.Random(5), "ABC", max_depth=4)
+        assert a == b
+
+    def test_random_pattern_respects_alphabet(self):
+        p = random_pattern(random.Random(0), ["X", "Y"], max_depth=5)
+        assert p.activity_names() <= {"X", "Y"}
+
+    def test_random_pattern_can_disable_negation(self):
+        for seed in range(30):
+            p = random_pattern(random.Random(seed), "AB", allow_negation=False)
+            assert not any(a.negated for a in p.atoms())
+
+    def test_enumerate_patterns_counts(self):
+        # 0 operators: |alphabet| atoms; 1 operator: 4 * a^2 combinations
+        patterns = list(enumerate_patterns("AB", max_operators=1))
+        atoms = [p for p in patterns if isinstance(p, Atomic)]
+        composites = [p for p in patterns if isinstance(p, BinaryPattern)]
+        assert len(atoms) == 2
+        assert len(composites) == 4 * 2 * 2
+
+    def test_enumerate_patterns_unique(self):
+        patterns = list(enumerate_patterns("AB", max_operators=1))
+        assert len(patterns) == len(set(patterns))

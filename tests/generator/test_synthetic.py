@@ -1,0 +1,153 @@
+"""Unit tests for the synthetic workload generators and distributions."""
+
+import random
+
+import pytest
+
+from repro.generator.distributions import Fixed, Geometric, UniformInt, Zipf
+from repro.generator.synthetic import (
+    SyntheticLogConfig,
+    default_alphabet,
+    generate_log,
+    planted_pattern_log,
+    uniform_log,
+    worst_case_log,
+)
+from repro.core.query import Query
+
+
+class TestDistributions:
+    def test_fixed(self):
+        assert Fixed(5).sample(random.Random(0)) == 5
+        assert Fixed(5).mean() == 5.0
+        with pytest.raises(ValueError):
+            Fixed(-1)
+
+    def test_uniform_int_range(self):
+        dist = UniformInt(2, 6)
+        rng = random.Random(1)
+        samples = [dist.sample(rng) for __ in range(200)]
+        assert min(samples) == 2 and max(samples) == 6
+        assert dist.mean() == 4.0
+        with pytest.raises(ValueError):
+            UniformInt(5, 2)
+
+    def test_geometric_support_and_truncation(self):
+        dist = Geometric(0.5, maximum=4)
+        rng = random.Random(2)
+        samples = [dist.sample(rng) for __ in range(200)]
+        assert min(samples) >= 1 and max(samples) <= 4
+        with pytest.raises(ValueError):
+            Geometric(0.0)
+
+    def test_zipf_is_skewed(self):
+        dist = Zipf(10, s=1.5)
+        rng = random.Random(3)
+        samples = [dist.sample(rng) for __ in range(500)]
+        assert all(0 <= s < 10 for s in samples)
+        assert samples.count(0) > samples.count(9)
+        with pytest.raises(ValueError):
+            Zipf(0)
+
+    def test_zipf_s_zero_is_uniformish(self):
+        dist = Zipf(4, s=0.0)
+        rng = random.Random(4)
+        samples = [dist.sample(rng) for __ in range(800)]
+        for value in range(4):
+            assert samples.count(value) > 120
+
+
+class TestGenerateLog:
+    def test_deterministic_per_seed(self):
+        config = SyntheticLogConfig(instances=5, seed=9)
+        assert generate_log(config) == generate_log(config)
+
+    def test_respects_instances_and_alphabet(self):
+        config = SyntheticLogConfig(
+            instances=4, alphabet=("X", "Y"), seed=0
+        )
+        log = generate_log(config)
+        assert len(log.wids) == 4
+        assert log.activities <= {"X", "Y", "START", "END"}
+
+    def test_generated_logs_are_well_formed(self):
+        for seed in range(5):
+            generate_log(SyntheticLogConfig(instances=3, seed=seed)).validate()
+
+    def test_skew_concentrates_activity_mass(self):
+        flat = generate_log(SyntheticLogConfig(instances=50, seed=1, skew=0.0))
+        skewed = generate_log(SyntheticLogConfig(instances=50, seed=1, skew=2.0))
+
+        def top_share(log):
+            counts = sorted(
+                (len(log.with_activity(a)) for a in log.activities
+                 if a not in ("START", "END")),
+                reverse=True,
+            )
+            return counts[0] / sum(counts)
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticLogConfig(instances=0)
+        with pytest.raises(ValueError):
+            SyntheticLogConfig(alphabet=())
+        with pytest.raises(ValueError):
+            SyntheticLogConfig(skew=-1)
+
+    def test_uniform_log_shape(self):
+        log = uniform_log(6, 10, alphabet_size=4, seed=2)
+        assert len(log.wids) == 6
+        for wid in log.wids:
+            assert len(log.instance(wid)) == 12  # 10 events + sentinels
+
+    def test_default_alphabet(self):
+        assert default_alphabet(3) == ("A00", "A01", "A02")
+        with pytest.raises(ValueError):
+            default_alphabet(0)
+
+
+class TestWorstCaseLog:
+    def test_single_instance_uniform_activity(self):
+        log = worst_case_log(7)
+        assert log.wids == (1,)
+        assert len(log.with_activity("t")) == 7
+        log.validate()
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_log(0)
+
+
+class TestPlantedPatternLog:
+    def test_plant_rate_one_guarantees_matches(self):
+        log = planted_pattern_log(10, 20, ["P1", "P2", "P3"], plant_rate=1.0,
+                                  seed=1)
+        query = Query("P1 -> P2 -> P3")
+        assert query.matching_instances(log) == tuple(range(1, 11))
+
+    def test_plant_rate_zero_guarantees_no_matches(self):
+        log = planted_pattern_log(10, 20, ["P1", "P2"], plant_rate=0.0, seed=1)
+        assert not Query("P1 | P2").exists(log)
+
+    def test_gap_one_plants_consecutively(self):
+        log = planted_pattern_log(10, 20, ["P1", "P2"], plant_rate=1.0, gap=1,
+                                  seed=2)
+        assert Query("P1 ; P2").matching_instances(log) == tuple(range(1, 11))
+
+    def test_larger_gap_breaks_consecutiveness(self):
+        log = planted_pattern_log(10, 30, ["P1", "P2"], plant_rate=1.0, gap=4,
+                                  seed=3)
+        assert not Query("P1 ; P2").exists(log)
+        assert Query("P1 -> P2").matching_instances(log) == tuple(range(1, 11))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_pattern_log(5, 3, ["A", "B", "C", "D"], seed=0)
+        with pytest.raises(ValueError):
+            planted_pattern_log(5, 10, [], seed=0)
+        with pytest.raises(ValueError):
+            planted_pattern_log(5, 10, ["N00"], seed=0)  # collides with noise
+        with pytest.raises(ValueError):
+            planted_pattern_log(5, 10, ["A"], gap=0, seed=0)

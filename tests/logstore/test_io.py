@@ -1,0 +1,140 @@
+"""Serialization round-trip tests (JSONL, CSV, XES)."""
+
+import io
+
+import pytest
+
+from repro.core.errors import LogStoreError
+from repro.core.model import START, Log
+from repro.logstore.io_csv import read_csv, write_csv
+from repro.logstore.io_jsonl import dumps, loads, read_jsonl, write_jsonl
+from repro.logstore.io_xes import read_xes, write_xes
+
+
+class TestJsonl:
+    def test_roundtrip_preserves_everything(self, figure3_log):
+        assert loads(dumps(figure3_log)) == figure3_log
+
+    def test_roundtrip_via_files(self, figure3_log, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_jsonl(figure3_log, path)
+        assert read_jsonl(path) == figure3_log
+
+    def test_roundtrip_via_file_objects(self, figure3_log):
+        buffer = io.StringIO()
+        write_jsonl(figure3_log, buffer)
+        buffer.seek(0)
+        assert read_jsonl(buffer) == figure3_log
+
+    def test_blank_lines_are_skipped(self, figure3_log):
+        text = dumps(figure3_log).replace("\n", "\n\n")
+        assert loads(text) == figure3_log
+
+    def test_malformed_line_reports_line_number(self):
+        with pytest.raises(LogStoreError) as excinfo:
+            loads('{"lsn": 1}\nnot json\n')
+        assert "line" in str(excinfo.value)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(LogStoreError):
+            loads("")
+
+    def test_validation_can_be_deferred(self):
+        # is_lsn gap: invalid log, but loadable with validate=False
+        text = (
+            '{"lsn": 1, "wid": 1, "is_lsn": 1, "activity": "START"}\n'
+            '{"lsn": 2, "wid": 1, "is_lsn": 5, "activity": "A"}\n'
+        )
+        log = loads(text, validate=False)
+        assert len(log) == 2
+
+
+class TestCsv:
+    def test_roundtrip(self, figure3_log, tmp_path):
+        path = tmp_path / "log.csv"
+        write_csv(figure3_log, path)
+        assert read_csv(path) == figure3_log
+
+    def test_attribute_maps_preserve_types(self, clinic_log, tmp_path):
+        path = tmp_path / "clinic.csv"
+        write_csv(clinic_log, path)
+        assert read_csv(path) == clinic_log
+
+    def test_header_is_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(LogStoreError):
+            read_csv(path)
+
+    def test_cell_count_is_validated(self):
+        buffer = io.StringIO("lsn,wid,is_lsn,activity,attrs_in,attrs_out\n1,1\n")
+        with pytest.raises(LogStoreError):
+            read_csv(buffer)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(LogStoreError):
+            read_csv(io.StringIO(""))
+
+
+class TestXes:
+    def test_roundtrip_preserves_structure_and_attrs(self, figure3_log):
+        buffer = io.StringIO()
+        write_xes(figure3_log, buffer)
+        buffer.seek(0)
+        loaded = read_xes(buffer)
+        assert [(r.wid, r.is_lsn, r.activity) for r in loaded] == [
+            (r.wid, r.is_lsn, r.activity) for r in figure3_log
+        ]
+        assert dict(loaded.record(15).attrs_out) == dict(
+            figure3_log.record(15).attrs_out
+        )
+
+    def test_roundtrip_via_files(self, clinic_log, tmp_path):
+        path = tmp_path / "log.xes"
+        write_xes(clinic_log, path)
+        loaded = read_xes(path)
+        assert [(r.wid, r.activity) for r in loaded] == [
+            (r.wid, r.activity) for r in clinic_log
+        ]
+
+    def test_typed_attributes_survive(self, tmp_path):
+        log = Log.from_tuples([
+            (1, 1, 1, START),
+            (2, 1, 2, "A", {}, {"i": 3, "f": 2.5, "b": True, "s": "x"}),
+        ])
+        path = tmp_path / "typed.xes"
+        write_xes(log, path)
+        attrs = read_xes(path).record(2).attrs_out
+        assert attrs["i"] == 3 and isinstance(attrs["i"], int)
+        assert attrs["f"] == 2.5 and isinstance(attrs["f"], float)
+        assert attrs["b"] is True
+        assert attrs["s"] == "x"
+
+    def test_third_party_xes_without_lsns_or_sentinels(self):
+        # minimal pm4py-style document: no repro:* keys, no START/END
+        document = """<?xml version="1.0"?>
+        <log xmlns="http://www.xes-standard.org/">
+          <trace>
+            <string key="concept:name" value="7"/>
+            <event><string key="concept:name" value="register"/></event>
+            <event><string key="concept:name" value="approve"/></event>
+          </trace>
+          <trace>
+            <string key="concept:name" value="9"/>
+            <event><string key="concept:name" value="register"/></event>
+          </trace>
+        </log>"""
+        log = read_xes(io.StringIO(document))
+        log.validate()
+        assert log.wids == (7, 9)
+        assert [r.activity for r in log.instance(7)] == [
+            START, "register", "approve",
+        ]
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(LogStoreError):
+            read_xes(io.StringIO("<log>"))
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(LogStoreError):
+            read_xes(io.StringIO("<log xmlns='http://www.xes-standard.org/'/>"))

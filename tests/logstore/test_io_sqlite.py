@@ -1,0 +1,93 @@
+"""Unit tests for the SQLite-backed persistent log store."""
+
+import pytest
+
+from repro.core.errors import LogStoreError
+from repro.core.model import LogRecord
+from repro.logstore.io_sqlite import SqliteLogStore
+
+
+class TestSaveLoad:
+    def test_roundtrip_in_memory(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            assert store.load() == figure3_log
+
+    def test_roundtrip_on_disk_across_connections(self, tmp_path, clinic_log):
+        path = tmp_path / "log.db"
+        with SqliteLogStore(path) as store:
+            store.save(clinic_log)
+        with SqliteLogStore(path) as reopened:
+            assert reopened.load() == clinic_log
+
+    def test_attribute_maps_survive(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            loaded = store.load()
+            assert dict(loaded.record(15).attrs_out) == dict(
+                figure3_log.record(15).attrs_out
+            )
+
+    def test_save_refuses_to_clobber(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            with pytest.raises(LogStoreError):
+                store.save(figure3_log)
+            store.save(figure3_log, replace=True)  # explicit replace is fine
+            assert store.count() == len(figure3_log)
+
+    def test_load_empty_store_raises(self):
+        with SqliteLogStore() as store:
+            with pytest.raises(LogStoreError):
+                store.load()
+
+
+class TestAppend:
+    def test_append_continues_sequence(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            extra = LogRecord(lsn=21, wid=3, is_lsn=3, activity="CheckIn")
+            assert store.append_records([extra]) == 1
+            loaded = store.load()
+            assert len(loaded) == 21
+            assert loaded.record(21).activity == "CheckIn"
+
+    def test_append_rejects_gaps(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            wrong = LogRecord(lsn=30, wid=3, is_lsn=3, activity="X")
+            with pytest.raises(LogStoreError):
+                store.append_records([wrong])
+
+
+class TestQueriesOverStore:
+    def test_partial_load_by_instance(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            partial = store.load(wids=[2])
+            partial.validate()
+            assert partial.wids == (2,)
+            assert len(partial) == 9
+
+    def test_wids_and_count(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            assert store.wids() == (1, 2, 3)
+            assert store.count() == 20
+
+    def test_activity_histogram(self, figure3_log):
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            histogram = store.activity_histogram()
+            assert histogram["SeeDoctor"] == 4
+            assert histogram["START"] == 3
+
+    def test_incident_queries_on_loaded_log(self, figure3_log):
+        from repro.core.query import Query
+
+        with SqliteLogStore() as store:
+            store.save(figure3_log)
+            loaded = store.load()
+            assert Query("UpdateRefer -> GetReimburse").run(
+                loaded
+            ).lsn_sets() == {frozenset({14, 20})}

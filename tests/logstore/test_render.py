@@ -1,0 +1,86 @@
+"""Tests for text rendering of logs and incidents."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.logstore.render import (
+    dfg_to_dot,
+    render_instance,
+    render_log_table,
+    render_swimlanes,
+)
+
+
+class TestRenderInstance:
+    def test_marks_incident_members(self, figure3_log):
+        incidents = Query("UpdateRefer -> GetReimburse").run(figure3_log)
+        text = render_instance(figure3_log, 2, incidents=incidents)
+        lines = text.splitlines()
+        marked = [line for line in lines if "<<" in line]
+        assert len(marked) == 2
+        assert any("UpdateRefer" in line for line in marked)
+        assert any("GetReimburse" in line for line in marked)
+
+    def test_other_instances_unmarked(self, figure3_log):
+        incidents = Query("UpdateRefer -> GetReimburse").run(figure3_log)
+        text = render_instance(figure3_log, 1, incidents=incidents)
+        assert "<<" not in text
+
+    def test_unknown_instance(self, figure3_log):
+        assert "no records" in render_instance(figure3_log, 42)
+
+    def test_one_line_per_record(self, figure3_log):
+        text = render_instance(figure3_log, 3)
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderLogTable:
+    def test_header_and_rows(self, figure3_log):
+        text = render_log_table(figure3_log, limit=5)
+        lines = text.splitlines()
+        assert "lsn" in lines[0]
+        assert len(lines) == 7  # header + 5 rows + "... more"
+        assert "more records" in lines[-1]
+
+    def test_start_offset(self, figure3_log):
+        text = render_log_table(figure3_log, start=14, limit=2)
+        assert "UpdateRefer" in text and "GetReimburse" in text
+        assert "START" not in text
+
+    def test_attributes_column(self, figure3_log):
+        text = render_log_table(figure3_log, limit=5, with_attributes=True)
+        assert '"hospital"' in text
+
+    def test_limit_validation(self, figure3_log):
+        with pytest.raises(ValueError):
+            render_log_table(figure3_log, limit=0)
+
+
+class TestSwimlanes:
+    def test_one_lane_per_instance(self, figure3_log):
+        text = render_swimlanes(figure3_log)
+        assert len(text.splitlines()) == 3
+        assert text.splitlines()[0].startswith("wid  1 |")
+
+    def test_start_glyph_at_global_position(self, figure3_log):
+        lanes = render_swimlanes(figure3_log).splitlines()
+        # instance 3's START is at global lsn 6
+        assert lanes[2].split("|")[1][5] == ">"
+
+
+class TestDot:
+    def test_dot_structure(self, figure3_log):
+        dot = dfg_to_dot(figure3_log)
+        assert dot.startswith("digraph dfg {")
+        assert '"SeeDoctor" -> "PayTreatment" [label="3"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_sentinels_excluded_by_default(self, figure3_log):
+        assert '"START"' not in dfg_to_dot(figure3_log)
+        assert '"START"' in dfg_to_dot(figure3_log, include_sentinels=True)
+
+    def test_empty_graph(self):
+        from repro.core.model import Log
+
+        log = Log.from_traces([["A"]])
+        assert dfg_to_dot(log) == "digraph dfg {\n}\n"

@@ -1,0 +1,128 @@
+"""Unit tests for log transformations."""
+
+import pytest
+
+from repro.core.errors import LogValidationError
+from repro.core.model import END, START, Log
+from repro.logstore.transform import (
+    anonymize,
+    filter_instances,
+    merge_logs,
+    project_activities,
+    renumber,
+    slice_lsn,
+)
+
+
+class TestRenumber:
+    def test_compacts_and_validates(self, figure3_log):
+        kept = [r for r in figure3_log if r.lsn not in (9, 10)]
+        log = renumber(kept)
+        log.validate()
+        assert len(log) == 18
+
+    def test_headless_instances_are_dropped(self, figure3_log):
+        # drop instance 2's START: the whole instance must go
+        kept = [r for r in figure3_log if r.lsn != 2]
+        log = renumber(kept)
+        assert log.wids == (1, 3)
+
+    def test_empty_result_raises(self):
+        with pytest.raises(LogValidationError):
+            renumber([])
+
+
+class TestFilterInstances:
+    def test_predicate_over_traces(self, figure3_log):
+        log = filter_instances(
+            figure3_log,
+            lambda trace: any(r.activity == "UpdateRefer" for r in trace),
+        )
+        assert log.wids == (2,)
+        log.validate()
+
+    def test_no_survivor_raises(self, figure3_log):
+        with pytest.raises(LogValidationError):
+            filter_instances(figure3_log, lambda trace: False)
+
+
+class TestSliceLsn:
+    def test_window_keeps_only_full_instances(self, figure3_log):
+        # window [6, 21) contains instance 3's START but not 1's or 2's
+        log = slice_lsn(figure3_log, 6, 21)
+        assert log.wids == (3,)
+        assert [r.activity for r in log] == [START, "GetRefer"]
+
+    def test_invalid_window(self, figure3_log):
+        with pytest.raises(ValueError):
+            slice_lsn(figure3_log, 5, 5)
+
+
+class TestProjectActivities:
+    def test_keeps_selected_plus_sentinels(self, clinic_log):
+        log = project_activities(clinic_log, ["GetRefer", "GetReimburse"])
+        log.validate()
+        assert log.activities <= {"GetRefer", "GetReimburse", START, END}
+        assert len(log.wids) == len(clinic_log.wids)
+
+    def test_queries_survive_projection(self, clinic_log):
+        from repro.core.query import Query
+
+        projected = project_activities(
+            clinic_log, ["UpdateRefer", "GetReimburse"]
+        )
+        # sequential queries are projection-invariant for kept activities
+        assert Query("UpdateRefer -> GetReimburse").matching_instances(
+            projected
+        ) == Query("UpdateRefer -> GetReimburse").matching_instances(clinic_log)
+
+
+class TestMergeLogs:
+    def test_disjoint_wids_and_wellformedness(self, figure3_log):
+        other = Log.from_traces({1: ["X", "Y"], 2: ["Z"]})
+        merged = merge_logs(figure3_log, other)
+        merged.validate()
+        assert len(merged) == len(figure3_log) + len(other)
+        assert set(merged.wids) == {1, 2, 3, 4, 5}
+        assert [r.activity for r in merged.instance(4)] == [
+            START, "X", "Y", END,
+        ]
+
+    def test_first_log_records_unchanged(self, figure3_log):
+        other = Log.from_traces([["X"]])
+        merged = merge_logs(figure3_log, other)
+        assert merged.records[: len(figure3_log)] == figure3_log.records
+
+
+class TestAnonymize:
+    def test_auto_mapping_is_consistent_and_total(self, clinic_log):
+        anonymous = anonymize(clinic_log)
+        anonymous.validate()
+        body = anonymous.activities - {START, END}
+        assert all(name.startswith("T") for name in body)
+        original_body = clinic_log.activities - {START, END}
+        assert len(body) == len(original_body)
+
+    def test_attributes_dropped_by_default(self, clinic_log):
+        anonymous = anonymize(clinic_log)
+        assert all(
+            not r.attrs_in and not r.attrs_out for r in anonymous
+        )
+
+    def test_attributes_can_be_kept(self, figure3_log):
+        anonymous = anonymize(figure3_log, drop_attributes=False)
+        assert dict(anonymous.record(4).attrs_out) == {"referState": "active"}
+
+    def test_custom_mapping(self, figure3_log):
+        anonymous = anonymize(
+            figure3_log, activity_map={"GetRefer": "Alpha"}
+        )
+        assert "Alpha" in anonymous.activities
+        assert "GetRefer" not in anonymous.activities
+        assert "SeeDoctor" in anonymous.activities  # unmapped names pass
+
+    def test_structure_preserved(self, clinic_log):
+        anonymous = anonymize(clinic_log)
+        assert [(r.wid, r.is_lsn) for r in anonymous] == [
+            (r.wid, r.is_lsn) for r in clinic_log
+        ]

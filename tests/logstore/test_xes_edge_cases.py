@@ -1,0 +1,78 @@
+"""Extra XES import edge cases (third-party document shapes)."""
+
+import io
+
+import pytest
+
+from repro.core.errors import LogStoreError
+from repro.core.model import START
+from repro.logstore.io_xes import read_xes
+
+
+def doc(body: str) -> io.StringIO:
+    return io.StringIO(
+        f'<?xml version="1.0"?>\n'
+        f'<log xmlns="http://www.xes-standard.org/">{body}</log>'
+    )
+
+
+class TestThirdPartyShapes:
+    def test_trace_without_concept_name_gets_auto_wid(self):
+        log = read_xes(doc(
+            "<trace><event>"
+            '<string key="concept:name" value="a"/>'
+            "</event></trace>"
+        ))
+        assert log.wids == (1,)
+
+    def test_non_numeric_trace_names_get_auto_wids(self):
+        log = read_xes(doc(
+            '<trace><string key="concept:name" value="case-alpha"/>'
+            '<event><string key="concept:name" value="a"/></event></trace>'
+            '<trace><string key="concept:name" value="case-beta"/>'
+            '<event><string key="concept:name" value="b"/></event></trace>'
+        ))
+        assert log.wids == (1, 2)
+
+    def test_event_without_activity_rejected(self):
+        with pytest.raises(LogStoreError):
+            read_xes(doc("<trace><event/></trace>"))
+
+    def test_trace_level_metadata_is_ignored(self):
+        log = read_xes(doc(
+            "<trace>"
+            '<string key="concept:name" value="3"/>'
+            '<string key="org:group" value="billing"/>'
+            '<event><string key="concept:name" value="a"/></event>'
+            "</trace>"
+        ))
+        assert [r.activity for r in log.instance(3)] == [START, "a"]
+
+    def test_mixed_typed_event_attributes(self):
+        log = read_xes(doc(
+            "<trace>"
+            '<string key="concept:name" value="1"/>'
+            "<event>"
+            '<string key="concept:name" value="a"/>'
+            '<list key="repro:attrs_out"><values>'
+            '<int key="n" value="5"/>'
+            '<float key="f" value="0.25"/>'
+            '<boolean key="b" value="false"/>'
+            "</values></list>"
+            "</event></trace>"
+        ))
+        record = log.instance(1)[1]
+        assert record.attrs_out == {"n": 5, "f": 0.25, "b": False}
+
+    def test_namespaced_tags_are_handled(self):
+        # explicit namespace prefixes, as some exporters emit
+        text = io.StringIO(
+            '<?xml version="1.0"?>'
+            '<x:log xmlns:x="http://www.xes-standard.org/">'
+            "<x:trace>"
+            '<x:string key="concept:name" value="1"/>'
+            '<x:event><x:string key="concept:name" value="a"/></x:event>'
+            "</x:trace></x:log>"
+        )
+        log = read_xes(text)
+        assert [r.activity for r in log.instance(1)] == [START, "a"]

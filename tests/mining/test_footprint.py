@@ -1,0 +1,101 @@
+"""Unit tests for footprint mining and query suggestion."""
+
+import pytest
+
+from repro.core.model import Log
+from repro.mining.footprint import Relation, footprint
+from repro.mining.suggest import suggest_anomaly_rules, suggest_patterns
+
+
+def trace_log(*traces):
+    return Log.from_traces(list(traces))
+
+
+class TestFootprint:
+    def test_causality(self):
+        mined = footprint(trace_log(["A", "B"], ["A", "B"]))
+        assert mined.relation("A", "B") is Relation.CAUSALITY
+        assert mined.relation("B", "A") is Relation.REVERSE
+
+    def test_parallel(self):
+        mined = footprint(trace_log(["A", "B"], ["B", "A"]))
+        assert mined.relation("A", "B") is Relation.PARALLEL
+        assert mined.parallel_pairs() == [("A", "B")]
+
+    def test_exclusive(self):
+        mined = footprint(trace_log(["A", "C"], ["B", "C"]))
+        assert mined.relation("A", "B") is Relation.EXCLUSIVE
+
+    def test_sentinels_excluded(self):
+        mined = footprint(trace_log(["A"]))
+        assert mined.activities == ("A",)
+
+    def test_noise_threshold_restores_causality(self):
+        # 19 forward vs 1 backward: classic alpha says parallel, a 10%
+        # noise floor says causality
+        traces = [["A", "B"]] * 19 + [["B", "A"]]
+        strict = footprint(trace_log(*traces))
+        assert strict.relation("A", "B") is Relation.PARALLEL
+        tolerant = footprint(trace_log(*traces), noise=0.1)
+        assert tolerant.relation("A", "B") is Relation.CAUSALITY
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            footprint(trace_log(["A"]), noise=0.5)
+
+    def test_causal_pairs_on_clinic(self, clinic_log):
+        mined = footprint(clinic_log, noise=0.05)
+        assert ("GetRefer", "CheckIn") in mined.causal_pairs()
+
+    def test_format_matrix(self):
+        text = footprint(trace_log(["A", "B"])).format()
+        assert "→" in text and "." in text
+        assert text.splitlines()[0].split() == ["A", "B"]
+
+    def test_follows_counts(self):
+        mined = footprint(trace_log(["A", "B", "A", "B"]))
+        assert mined.follows_counts[("A", "B")] == 2
+        assert mined.follows_counts[("B", "A")] == 1
+
+
+class TestSuggestions:
+    @pytest.fixture()
+    def skewed_order_log(self):
+        # A before B in 19 instances, inverted once
+        return trace_log(*([["A", "B"]] * 19 + [["B", "A"]]))
+
+    def test_inverted_order_suggestion(self, skewed_order_log):
+        suggestions = suggest_patterns(skewed_order_log)
+        inversions = [s for s in suggestions if s.kind == "inverted-order"]
+        assert len(inversions) == 1
+        assert str(inversions[0].pattern) == "B -> A"
+        assert "1 inversion" in inversions[0].evidence
+
+    def test_no_inversion_suggested_for_balanced_pairs(self):
+        log = trace_log(*([["A", "B"]] * 5 + [["B", "A"]] * 5))
+        suggestions = suggest_patterns(log)
+        assert not [s for s in suggestions if s.kind == "inverted-order"]
+
+    def test_causality_and_parallel_suggestions(self):
+        log = trace_log(*([["A", "B", "C", "D"]] * 3 + [["A", "C", "B", "D"]] * 3))
+        kinds = {s.kind for s in suggest_patterns(log, min_support=3)}
+        assert "causality" in kinds and "parallel" in kinds
+
+    def test_min_support_filters(self, skewed_order_log):
+        assert not suggest_patterns(skewed_order_log, min_support=100)
+
+    def test_suggested_rules_find_the_offender(self, skewed_order_log):
+        rules = suggest_anomaly_rules(skewed_order_log)
+        assert len(rules) == 1
+        report = rules.run(skewed_order_log)
+        (finding,) = report.triggered
+        assert finding.instance_ids == (20,)  # the inverted instance
+
+    def test_suggestions_on_clinic_log(self, clinic_log):
+        suggestions = suggest_patterns(clinic_log, min_support=5)
+        assert any(s.kind == "causality" for s in suggestions)
+        # every suggestion renders and parses
+        from repro.core.parser import parse
+
+        for suggestion in suggestions:
+            assert parse(str(suggestion.pattern)) == suggestion.pattern

@@ -1,0 +1,60 @@
+"""Tests for the simulated clock (record_timestamps)."""
+
+import pytest
+
+from repro.core.model import Log
+from repro.workflow.engine import SimulationConfig, WorkflowEngine
+from repro.workflow.models import clinic_referral_workflow
+
+
+def run(instances=5, seed=1, **kwargs):
+    engine = WorkflowEngine(clinic_referral_workflow())
+    return engine.run(SimulationConfig(instances=instances, seed=seed, **kwargs))
+
+
+class TestSimulatedClock:
+    def test_disabled_by_default(self):
+        log = run()
+        assert all("_ts" not in r.attrs_out for r in log)
+
+    def test_every_record_stamped_when_enabled(self):
+        log = run(record_timestamps=True)
+        assert all("_ts" in r.attrs_out for r in log)
+
+    def test_timestamps_strictly_increase_with_lsn(self):
+        log = run(record_timestamps=True)
+        stamps = [r.attrs_out["_ts"] for r in log]
+        assert all(t0 < t1 for t0, t1 in zip(stamps, stamps[1:]))
+
+    def test_deterministic_per_seed(self):
+        a = run(record_timestamps=True, seed=9)
+        b = run(record_timestamps=True, seed=9)
+        assert a == b
+
+    def test_mean_step_scales_the_clock(self):
+        fast = run(record_timestamps=True, seed=3, mean_step_seconds=1.0)
+        slow = run(record_timestamps=True, seed=3, mean_step_seconds=1000.0)
+        assert slow.records[-1].attrs_out["_ts"] > (
+            fast.records[-1].attrs_out["_ts"] * 100
+        )
+
+    def test_mean_step_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(mean_step_seconds=0)
+
+    def test_control_flow_unchanged_by_clock(self):
+        """Enabling timestamps must not change the simulated behaviour
+        (activities, interleaving) for the same seed."""
+        plain = run(seed=12)
+        timed = run(seed=12, record_timestamps=True)
+        assert [
+            (r.wid, r.is_lsn, r.activity) for r in plain
+        ] == [(r.wid, r.is_lsn, r.activity) for r in timed]
+
+    def test_timestamps_survive_serialization(self, tmp_path):
+        from repro.logstore import read_jsonl, write_jsonl
+
+        log = run(record_timestamps=True)
+        path = tmp_path / "timed.jsonl"
+        write_jsonl(log, path)
+        assert read_jsonl(path) == log
