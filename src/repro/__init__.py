@@ -29,9 +29,11 @@ from repro.core import (
     BudgetExceededError,
     Choice,
     Consecutive,
+    Diagnostic,
     EvaluationError,
     Incident,
     IncidentSet,
+    Linter,
     Log,
     LogRecord,
     LogValidationError,
@@ -42,12 +44,15 @@ from repro.core import (
     Query,
     ReproError,
     Sequential,
+    Severity,
     act,
     choice,
     consecutive,
+    lint_pattern,
     neg,
     parallel,
     parse,
+    parse_with_spans,
     reference_incidents,
     sequential,
 )
@@ -72,6 +77,11 @@ __all__ = [
     "START",
     "END",
     "parse",
+    "parse_with_spans",
+    "Diagnostic",
+    "Linter",
+    "Severity",
+    "lint_pattern",
     "Pattern",
     "Atomic",
     "Consecutive",

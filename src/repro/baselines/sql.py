@@ -33,7 +33,6 @@ from repro.core.model import Log
 from repro.core.pattern import (
     Atomic,
     BinaryPattern,
-    Choice,
     Consecutive,
     Parallel,
     Pattern,

@@ -2,7 +2,10 @@
 
 Subcommands
 -----------
-* ``query``     — evaluate an incident pattern over a log file;
+* ``query``     — evaluate an incident pattern over a log file (with a
+  pre-flight static-diagnostics pass; opt out with ``--no-lint``);
+* ``lint``      — static diagnostics for a pattern, optionally against a
+  log's vocabulary/statistics and/or a bundled workflow model;
 * ``stats``     — descriptive statistics of a log;
 * ``validate``  — Definition 2 well-formedness report (optional repair);
 * ``generate``  — simulate a workflow model (or synthetic noise) to a log;
@@ -18,14 +21,15 @@ Log formats are inferred from file extensions (``.jsonl``, ``.csv``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analytics.anomaly import clinic_rules, loan_rules, order_rules
 from repro.core.errors import ReproError
-from repro.core.eval.tree import render_tree
+from repro.core.lint import Linter, Severity, format_diagnostics
 from repro.core.model import Log
-from repro.core.parser import parse
+from repro.core.parser import parse, parse_with_spans
 from repro.core.query import ENGINES, Query
 from repro.generator.synthetic import SyntheticLogConfig, generate_log
 from repro.logstore import (
@@ -128,6 +132,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="abort if an incident set exceeds this size",
     )
+    query.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the pre-flight static-diagnostics pass",
+    )
+
+    lint = commands.add_parser(
+        "lint", help="static diagnostics for a pattern (no evaluation)"
+    )
+    lint.add_argument("pattern", help='e.g. "A -> (B | C)"')
+    lint.add_argument(
+        "--log", help="check against this log's vocabulary and statistics"
+    )
+    lint.add_argument(
+        "--model",
+        choices=sorted(_MODELS),
+        help="check against a bundled workflow model's control flow",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    lint.add_argument(
+        "--cost-threshold",
+        type=float,
+        default=1e7,
+        help="estimated plan cost above which QW401 fires",
+    )
 
     stats = commands.add_parser("stats", help="log statistics")
     stats.add_argument("--log", required=True)
@@ -193,10 +224,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    parsed = parse_with_spans(args.pattern)
+    linter = Linter.for_context(
+        log=_load_log(args.log) if args.log else None,
+        spec=_MODELS[args.model]() if args.model else None,
+        cost_threshold=args.cost_threshold,
+    )
+    diagnostics = linter.lint(parsed)
+    if args.format == "json":
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        print(format_diagnostics(diagnostics, parsed.text))
+    return 1 if any(d.severity == Severity.ERROR for d in diagnostics) else 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     log = _load_log(args.log)
+    parsed = parse_with_spans(args.pattern)
+    if not args.no_lint:
+        # pre-flight warning pass: report, never block evaluation
+        diagnostics = Linter.for_log(log).lint(parsed)
+        for diagnostic in diagnostics:
+            print(diagnostic.format(parsed.text), file=sys.stderr)
     query = Query(
-        parse(args.pattern),
+        parsed.pattern,
         engine=args.engine,
         optimize=not args.no_optimize,
         max_incidents=args.max_incidents,
@@ -330,6 +382,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "query": _cmd_query,
+    "lint": _cmd_lint,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
     "generate": _cmd_generate,

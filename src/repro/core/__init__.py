@@ -11,8 +11,9 @@ from repro.core.errors import (
 )
 from repro.core.check import assignment, is_incident
 from repro.core.incident import Incident, IncidentSet, reference_incidents
+from repro.core.lint import Diagnostic, Linter, Severity, lint_pattern
 from repro.core.model import END, START, Log, LogRecord
-from repro.core.parser import parse
+from repro.core.parser import ParseResult, SourceSpan, parse, parse_with_spans
 from repro.core.pattern import (
     Atomic,
     Choice,
@@ -46,6 +47,13 @@ __all__ = [
     "START",
     "END",
     "parse",
+    "parse_with_spans",
+    "ParseResult",
+    "SourceSpan",
+    "Diagnostic",
+    "Linter",
+    "Severity",
+    "lint_pattern",
     "Pattern",
     "Atomic",
     "Consecutive",

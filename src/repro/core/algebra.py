@@ -44,7 +44,6 @@ from repro.core.pattern import (
     BinaryPattern,
     Choice,
     Consecutive,
-    Parallel,
     Pattern,
     Sequential,
 )

@@ -20,7 +20,7 @@ the test-suite (completely different code path from the engines).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator
 
 from repro.core.incident import Incident
 from repro.core.model import LogRecord

@@ -20,6 +20,7 @@ from repro.core.optimizer.rules import (
     REWRITE_RULES,
     RewriteRule,
     factor_choice,
+    normalize,
     push_choice_out,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "RewriteRule",
     "REWRITE_RULES",
     "factor_choice",
+    "normalize",
     "push_choice_out",
 ]

@@ -26,16 +26,11 @@ from dataclasses import dataclass, field
 from repro.core.errors import OptimizerError
 from repro.core.model import Log
 from repro.core.optimizer.cost import CostModel, LogStatistics
-from repro.core.optimizer.rules import (
-    REWRITE_RULES,
-    apply_bottom_up,
-    push_choice_out,
-)
+from repro.core.optimizer.rules import normalize, push_choice_out
 from repro.core.algebra import flatten_chain
 from repro.core.pattern import (
     Atomic,
     BinaryPattern,
-    Choice,
     Consecutive,
     Pattern,
     Sequential,
@@ -168,16 +163,10 @@ class Optimizer:
     def optimize(self, pattern: Pattern) -> OptimizedPlan:
         """Produce an equivalent, estimated-cheaper pattern for the log the
         cost model was built from."""
-        transformations: list[str] = []
         original_cost = self.model.plan_cost(pattern)
 
-        current = pattern
-        for rule in REWRITE_RULES:
-            current, count = apply_bottom_up(current, rule.apply)
-            if count:
-                transformations.append(
-                    f"{rule.name} x{count} (licensed by {rule.theorem})"
-                )
+        # the same normal form repro.core.lint reasons about
+        current, transformations = normalize(pattern)
 
         reassociated = self._reassociate(current)
         if reassociated != current:

@@ -14,13 +14,9 @@ from dataclasses import dataclass
 
 from repro.core.algebra import build_left_deep, canonicalize, flatten_assoc
 from repro.core.pattern import (
-    Atomic,
     BinaryPattern,
     Choice,
-    Consecutive,
-    Parallel,
     Pattern,
-    Sequential,
 )
 
 __all__ = [
@@ -30,6 +26,7 @@ __all__ = [
     "push_choice_out",
     "dedup_choice",
     "apply_bottom_up",
+    "normalize",
 ]
 
 
@@ -170,3 +167,22 @@ REWRITE_RULES: tuple[RewriteRule, ...] = (
     RewriteRule("dedup-choice", "Definition 4 (set semantics)", dedup_choice),
     RewriteRule("factor-choice", "Theorem 5", factor_choice),
 )
+
+
+def normalize(pattern: Pattern) -> tuple[Pattern, list[str]]:
+    """The shared normal form: :data:`REWRITE_RULES` applied bottom-up to
+    fixpoint, in order.
+
+    This is the single canonicalisation step both the planner
+    (:class:`~repro.core.optimizer.planner.Optimizer`) and the static
+    analyzer (:mod:`repro.core.lint`) run, so a query is planned in
+    exactly the form lint reasoned about.  Returns the rewritten pattern
+    and a human-readable description of each rule that fired.
+    """
+    applied: list[str] = []
+    current = pattern
+    for rule in REWRITE_RULES:
+        current, count = apply_bottom_up(current, rule.apply)
+        if count:
+            applied.append(f"{rule.name} x{count} (licensed by {rule.theorem})")
+    return current, applied

@@ -50,7 +50,14 @@ from repro.core.pattern import (
     Sequential,
 )
 
-__all__ = ["parse", "tokenize", "Token"]
+__all__ = [
+    "parse",
+    "parse_with_spans",
+    "tokenize",
+    "Token",
+    "SourceSpan",
+    "ParseResult",
+]
 
 
 _OPERATORS: dict[str, type[BinaryPattern]] = {
@@ -91,6 +98,64 @@ class Token:
     negated: bool = False
     guard: str | None = None
     bound: int | None = None
+    #: 0-based exclusive end offset of the token's source text; ``-1`` for
+    #: tokens constructed without position information.
+    end: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSpan:
+    """A half-open ``[start, end)`` character range in the query text.
+
+    Spans are attached to AST nodes during parsing (see
+    :class:`ParseResult`) so downstream tooling — notably
+    :mod:`repro.core.lint` — can point diagnostics at the offending
+    subexpression.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    def slice(self, text: str) -> str:
+        """The source text the span covers."""
+        return text[self.start : self.end]
+
+    def caret_line(self) -> str:
+        """An underline (``^^^``) aligned with the span, for CLI output."""
+        return " " * self.start + "^" * max(1, self.end - self.start)
+
+    def __str__(self) -> str:
+        return f"{self.start}-{self.end}"
+
+
+class ParseResult:
+    """A parsed pattern plus the source spans of its AST nodes.
+
+    Patterns are immutable value objects — structurally equal subtrees
+    compare and hash equal — so spans are kept in a side table keyed by
+    node *identity* rather than on the nodes themselves.  The result
+    object retains the root pattern (keeping every node alive), which
+    makes identity keys stable for its lifetime.
+    """
+
+    __slots__ = ("pattern", "text", "_spans")
+
+    def __init__(self, pattern: Pattern, text: str, spans: dict[int, SourceSpan]):
+        self.pattern = pattern
+        self.text = text
+        self._spans = spans
+
+    def span(self, node: Pattern) -> SourceSpan | None:
+        """The source span of ``node``, or None when the node is not part
+        of this parse (e.g. built by a rewrite)."""
+        return self._spans.get(id(node))
+
+    def __repr__(self) -> str:
+        return f"ParseResult({self.text!r})"
 
 
 def tokenize(text: str) -> Iterator[Token]:
@@ -109,11 +174,11 @@ def tokenize(text: str) -> Iterator[Token]:
             i += 1
             continue
         if ch == "(":
-            yield Token("lparen", "(", i)
+            yield Token("lparen", "(", i, end=i + 1)
             i += 1
             continue
         if ch == ")":
-            yield Token("rparen", ")", i)
+            yield Token("rparen", ")", i, end=i + 1)
             i += 1
             continue
         if text.startswith("->", i):
@@ -133,15 +198,15 @@ def tokenize(text: str) -> Iterator[Token]:
                         text=text,
                         position=i + 1,
                     )
-                yield Token("op", "->", i - 2, bound=int(raw))
+                yield Token("op", "->", i - 2, bound=int(raw), end=end + 1)
                 i = end + 1
             else:
-                yield Token("op", "->", i - 2)
+                yield Token("op", "->", i - 2, end=i)
             continue
         if ch in _OPERATORS and ch != "-":
             # single-character operators and unicode aliases
             canonical = _OPERATORS[ch].token
-            yield Token("op", canonical, i)
+            yield Token("op", canonical, i, end=i + 1)
             i += 1
             continue
         if ch in _NEGATION_CHARS:
@@ -151,13 +216,13 @@ def tokenize(text: str) -> Iterator[Token]:
                 i += 1
             name, i = _read_name(text, i, start)
             guard, i = _read_guard(text, i)
-            yield Token("atom", name, start, negated=True, guard=guard)
+            yield Token("atom", name, start, negated=True, guard=guard, end=i)
             continue
         if ch == '"' or ch == "_" or ch.isalnum():
             start = i
             name, i = _read_name(text, i, start)
             guard, i = _read_guard(text, i)
-            yield Token("atom", name, start, guard=guard)
+            yield Token("atom", name, start, guard=guard, end=i)
             continue
         raise PatternSyntaxError(
             f"unexpected character {ch!r}", text=text, position=i
@@ -254,10 +319,21 @@ def parse(text: str) -> Pattern:
     PatternSyntaxError
         On any lexical or grammatical error, with source position.
     """
+    return parse_with_spans(text).pattern
+
+
+def parse_with_spans(text: str) -> ParseResult:
+    """Like :func:`parse`, but also records each AST node's source span.
+
+    Every node of the returned pattern — atoms and operators alike — maps
+    to the ``[start, end)`` range of query text it was built from (operator
+    nodes span their whole subexpression, excluding enclosing parentheses).
+    """
     tokens = list(tokenize(text))
     if not tokens:
         raise PatternSyntaxError("empty pattern expression", text=text)
 
+    spans: dict[int, SourceSpan] = {}
     output: list[Pattern] = []
     # operator stack holds ("op", factory, precedence, position) or
     # ("lparen", None, 0, position)
@@ -275,7 +351,11 @@ def parse(text: str) -> Pattern:
             )
         right = output.pop()
         left = output.pop()
-        output.append(factory(left, right))  # type: ignore[operator]
+        node = factory(left, right)  # type: ignore[operator]
+        left_span, right_span = spans.get(id(left)), spans.get(id(right))
+        if left_span is not None and right_span is not None:
+            spans[id(node)] = SourceSpan(left_span.start, right_span.end)
+        output.append(node)
 
     for token in tokens:
         if token.kind == "atom":
@@ -285,7 +365,9 @@ def parse(text: str) -> Pattern:
                     text=text,
                     position=token.position,
                 )
-            output.append(_make_atom(token))
+            atom = _make_atom(token)
+            spans[id(atom)] = SourceSpan(token.position, token.end)
+            output.append(atom)
             expect_operand = False
         elif token.kind == "lparen":
             if not expect_operand:
@@ -340,4 +422,4 @@ def parse(text: str) -> Pattern:
 
     if len(output) != 1:  # pragma: no cover - guarded by grammar state machine
         raise PatternSyntaxError("malformed expression", text=text)
-    return output[0]
+    return ParseResult(output[0], text, spans)

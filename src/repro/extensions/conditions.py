@@ -30,13 +30,12 @@ as ``GetRefer[out.balance > 5000]``)::
 
 from __future__ import annotations
 
-from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.errors import PatternSyntaxError
 from repro.core.model import LogRecord
-from repro.core.pattern import Atomic, Pattern
+from repro.core.pattern import Atomic
 
 __all__ = [
     "Condition",

@@ -21,7 +21,6 @@ Example
 from __future__ import annotations
 
 from collections.abc import Iterator
-from typing import Any
 
 from repro.core.errors import LogStoreError
 from repro.core.model import END, START, AttrMap, Log, LogRecord

@@ -9,7 +9,7 @@ re-compacts global sequence numbers.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.model import END, START, Log, LogRecord

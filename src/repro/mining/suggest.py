@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.analytics.anomaly import AnomalyRule, RuleSet
 from repro.core.model import Log
 from repro.core.pattern import Pattern, act
-from repro.mining.footprint import Footprint, Relation, footprint
+from repro.mining.footprint import footprint
 
 __all__ = ["SuggestedPattern", "suggest_patterns", "suggest_anomaly_rules"]
 

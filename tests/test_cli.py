@@ -79,6 +79,71 @@ class TestQuery:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_preflight_warns_but_still_evaluates(self, clinic_file, capsys):
+        code = main(["query", "--log", clinic_file, "--pattern", "Ghost",
+                     "--mode", "count"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "0"  # still evaluated
+        assert "QW101" in captured.err and "QW201" in captured.err
+
+    def test_preflight_silent_on_clean_query(self, clinic_file, capsys):
+        main(["query", "--log", clinic_file, "--pattern", "GetRefer",
+              "--mode", "count"])
+        assert capsys.readouterr().err == ""
+
+    def test_no_lint_suppresses_preflight(self, clinic_file, capsys):
+        code = main(["query", "--log", clinic_file, "--pattern", "Ghost",
+                     "--mode", "count", "--no-lint"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "0"
+        assert captured.err == ""
+
+
+class TestLint:
+    def test_clean_query_exits_zero(self, capsys):
+        assert main(["lint", "GetRefer -> CheckIn", "--model", "clinic"]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_error_diagnostics_exit_one(self, capsys):
+        code = main(["lint", "CheckIn -> GetRefer", "--model", "clinic"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "QW201" in out
+        assert "^" in out  # caret line under the offending span
+
+    def test_warnings_alone_exit_zero(self, capsys):
+        code = main(["lint", "A | B | A"])
+        assert code == 0
+        assert "QW301" in capsys.readouterr().out
+
+    def test_lint_against_log(self, clinic_file, capsys):
+        code = main(["lint", "GetRefer ; Ghost", "--log", clinic_file])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "QW101" in out and "QW201" in out
+
+    def test_json_format(self, clinic_file, capsys):
+        code = main(["lint", "Ghost", "--log", clinic_file,
+                     "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {d["code"] for d in payload} == {"QW101", "QW201"}
+        for diagnostic in payload:
+            assert diagnostic["severity"] == "error"
+            assert diagnostic["span"] == [0, 5]
+
+    def test_cost_threshold_flag(self, clinic_file, capsys):
+        code = main(["lint", "GetRefer -> CheckIn", "--log", clinic_file,
+                     "--cost-threshold", "0"])
+        assert code == 0  # QW401 is a warning, not an error
+        assert "QW401" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, capsys):
+        assert main(["lint", "A ->"]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestStatsValidateConvert:
     def test_stats(self, clinic_file, capsys):
