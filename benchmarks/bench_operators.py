@@ -77,3 +77,38 @@ def test_quadratic_shape(operator):
     t2 = max(_measure(evaluate, 512), 1e-5)
     exponent = math.log(t2 / t1) / math.log(512 / 128)
     assert 1.3 <= exponent <= 3.2, f"{operator}: exponent {exponent:.2f}"
+
+
+def test_null_tracer_overhead(bench_metrics):
+    """Experiment O1 — disabled tracing is free.
+
+    Evaluating under ``NULL_TRACER.span(...)`` must cost within 5% of the
+    bare call.  Interleaved min-of-N timing cancels scheduler noise: the
+    minimum of many repeats estimates the true cost floor of each variant.
+    """
+    from repro.obs.tracer import NULL_TRACER
+
+    inc1, inc2 = operand_sets(256)
+
+    def bare() -> None:
+        sequential_eval(inc1, inc2)
+
+    def traced() -> None:
+        with NULL_TRACER.span("⊳", key=0) as span:
+            sequential_eval(inc1, inc2)
+            span.add(pairs=len(inc1) * len(inc2))
+
+    for warmup in (bare, traced):
+        warmup()
+    best = {"bare": float("inf"), "traced": float("inf")}
+    for _ in range(15):
+        for name, run in (("bare", bare), ("traced", traced)):
+            started = time.perf_counter()
+            run()
+            best[name] = min(best[name], time.perf_counter() - started)
+
+    overhead = best["traced"] / best["bare"] - 1.0
+    bench_metrics.gauge("bench.null_tracer.bare_s").set(best["bare"])
+    bench_metrics.gauge("bench.null_tracer.traced_s").set(best["traced"])
+    bench_metrics.gauge("bench.null_tracer.overhead_ratio").set(overhead)
+    assert overhead <= 0.05, f"null tracer overhead {overhead:.1%} exceeds 5%"

@@ -19,7 +19,13 @@ Quickstart
 1
 """
 
-from repro.core import (
+from repro.obs.log import install_null_handler as _install_null_handler
+
+# library default: the `repro.*` logging hierarchy stays silent unless the
+# application (or the CLI's -v flag) configures a handler
+_install_null_handler()
+
+from repro.core import (  # noqa: E402
     END,
     assignment,
     is_incident,

@@ -20,13 +20,18 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.analytics.anomaly import AnomalyRule, RuleSet
 from repro.core.eval.incremental import IncrementalEvaluator
 from repro.core.incident import Incident
 from repro.core.model import LogRecord
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Alert", "LiveMonitor"]
+
+logger = get_logger("analytics.monitor")
 
 
 @dataclass(frozen=True)
@@ -59,6 +64,10 @@ class LiveMonitor:
     on_alert:
         Optional callback invoked synchronously for every alert (in
         addition to alerts being returned from :meth:`observe`).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: records
+        observed / alerts raised counters plus an ``observe`` latency
+        histogram, shared with each rule's incremental evaluator.
     """
 
     def __init__(
@@ -67,14 +76,18 @@ class LiveMonitor:
         *,
         max_incidents_per_rule: int | None = 100_000,
         on_alert: Callable[[Alert], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.rules = rules
         self.on_alert = on_alert
+        self.metrics = metrics
         self._evaluators: list[tuple[AnomalyRule, IncrementalEvaluator]] = [
             (
                 rule,
                 IncrementalEvaluator(
-                    rule.pattern, max_incidents=max_incidents_per_rule
+                    rule.pattern,
+                    max_incidents=max_incidents_per_rule,
+                    metrics=metrics,
                 ),
             )
             for rule in rules
@@ -83,14 +96,27 @@ class LiveMonitor:
 
     def observe(self, record: LogRecord) -> list[Alert]:
         """Feed one record; returns the alerts it triggers."""
+        started = perf_counter() if self.metrics is not None else 0.0
         new_alerts: list[Alert] = []
         for rule, evaluator in self._evaluators:
             for incident in evaluator.append(record):
                 alert = Alert(rule, record, incident)
                 new_alerts.append(alert)
+                logger.debug(
+                    "rule %s completed at lsn=%d (wid=%d)",
+                    rule.name,
+                    record.lsn,
+                    incident.wid,
+                )
                 if self.on_alert is not None:
                     self.on_alert(alert)
         self._alerts.extend(new_alerts)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.records_observed").inc()
+            self.metrics.counter("monitor.alerts").inc(len(new_alerts))
+            self.metrics.histogram("monitor.observe_seconds").observe(
+                perf_counter() - started
+            )
         return new_alerts
 
     def observe_all(self, records: Iterable[LogRecord]) -> list[Alert]:

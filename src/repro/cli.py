@@ -12,10 +12,14 @@ Subcommands
 * ``anomalies`` — run a bundled anomaly rule-set over a log;
 * ``monitor``   — replay a log record by record through the streaming
   evaluator, printing each alert at the record that completes it;
+* ``profile``   — evaluate a pattern with tracing enabled and print a
+  per-node cost breakdown (predicted vs. actual pairs, hottest node);
 * ``convert``   — transcode between jsonl / csv / xes.
 
 Log formats are inferred from file extensions (``.jsonl``, ``.csv``,
 ``.xes``/``.xml``); ``-`` reads from stdin / writes to stdout as JSONL.
+``-v`` / ``-vv`` on the root command routes the ``repro.*`` diagnostic
+logging hierarchy to stderr at INFO / DEBUG.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from repro.logstore import (
     write_jsonl,
     write_xes,
 )
+from repro.obs import MetricsRegistry, Tracer, enable_verbose, metrics_to_dict, render_trace
 from repro.workflow.engine import SimulationConfig, WorkflowEngine
 from repro.workflow.models import (
     clinic_referral_workflow,
@@ -103,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-logs",
         description="Incident-pattern queries over workflow logs",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="enable repro.* diagnostics on stderr (-v INFO, -vv DEBUG)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     query = commands.add_parser("query", help="evaluate an incident pattern")
@@ -136,6 +148,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-lint",
         action="store_true",
         help="skip the pre-flight static-diagnostics pass",
+    )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="record and print the per-node evaluation span tree",
+    )
+    query.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the engine metrics snapshot (JSON) after the results",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="per-node cost breakdown: predicted vs. actual pairs, hottest node",
+    )
+    profile.add_argument("--log", required=True, help="log file (.jsonl/.csv/.xes)")
+    profile.add_argument("--pattern", required=True, help='e.g. "A -> (B | C)"')
+    profile.add_argument(
+        "--engine", choices=sorted(ENGINES), default="indexed", help="engine"
+    )
+    profile.add_argument(
+        "--no-optimize", action="store_true", help="skip the query optimizer"
+    )
+    profile.add_argument(
+        "--max-incidents",
+        type=int,
+        default=None,
+        help="abort if an incident set exceeds this size",
+    )
+    profile.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
     )
 
     lint = commands.add_parser(
@@ -247,34 +291,71 @@ def _cmd_query(args: argparse.Namespace) -> int:
         diagnostics = Linter.for_log(log).lint(parsed)
         for diagnostic in diagnostics:
             print(diagnostic.format(parsed.text), file=sys.stderr)
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics else None
     query = Query(
         parsed.pattern,
         engine=args.engine,
         optimize=not args.no_optimize,
         max_incidents=args.max_incidents,
+        tracer=tracer,
+        metrics=registry,
     )
     if args.explain:
         print(query.explain(log))
         print()
     if args.mode == "exists":
         print("yes" if query.exists(log) else "no")
-        return 0
-    if args.mode == "count":
+    elif args.mode == "count":
         print(query.count(log))
-        return 0
-    if args.mode == "instances":
+    elif args.mode == "instances":
         print(" ".join(map(str, query.matching_instances(log))))
-        return 0
-    incidents = query.run(log)
-    print(f"{len(incidents)} incident(s)")
-    for i, incident in enumerate(incidents):
-        if i >= args.limit:
-            print(f"... ({len(incidents) - args.limit} more)")
-            break
-        members = ", ".join(
-            f"l{r.lsn}:{r.activity}@{r.is_lsn}" for r in incident
-        )
-        print(f"  wid={incident.wid}  {{{members}}}")
+    else:
+        incidents = query.run(log)
+        print(f"{len(incidents)} incident(s)")
+        for i, incident in enumerate(incidents):
+            if i >= args.limit:
+                print(f"... ({len(incidents) - args.limit} more)")
+                break
+            members = ", ".join(
+                f"l{r.lsn}:{r.activity}@{r.is_lsn}" for r in incident
+            )
+            print(f"  wid={incident.wid}  {{{members}}}")
+    if tracer is not None:
+        print()
+        print("trace:")
+        if tracer.last_root is None:
+            print("  (no span tree recorded for this mode/engine path)")
+        else:
+            print(render_trace(tracer.last_root))
+            stats = query.engine.last_stats
+            if stats is not None:
+                print(
+                    f"pairs examined: {int(tracer.last_root.total('pairs'))} "
+                    f"traced / {stats.pairs_examined} counted"
+                )
+    if registry is not None:
+        print()
+        print("metrics:")
+        print(json.dumps(metrics_to_dict(registry), indent=2, ensure_ascii=False))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_query
+
+    log = _load_log(args.log)
+    report = profile_query(
+        log,
+        args.pattern,
+        engine=args.engine,
+        optimize=not args.no_optimize,
+        max_incidents=args.max_incidents,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, ensure_ascii=False))
+    else:
+        print(report.format())
     return 0
 
 
@@ -382,6 +463,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "query": _cmd_query,
+    "profile": _cmd_profile,
     "lint": _cmd_lint,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
@@ -396,6 +478,7 @@ _HANDLERS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    enable_verbose(args.verbose)
     try:
         return _HANDLERS[args.command](args)
     except ReproError as exc:

@@ -8,9 +8,29 @@ from dataclasses import dataclass, field
 from repro.core.errors import BudgetExceededError
 from repro.core.incident import IncidentSet
 from repro.core.model import Log
-from repro.core.pattern import Pattern
+from repro.core.pattern import Atomic, Pattern
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
-__all__ = ["Engine", "EvaluationStats"]
+__all__ = ["Engine", "EvaluationStats", "node_label"]
+
+logger = get_logger("core.eval")
+
+
+def node_label(pattern: Pattern) -> str:
+    """Display label of one incident-tree node: the query text for leaves,
+    the operator glyph (with window bound, if any) for internal nodes.
+
+    All engines label their trace spans through this function, which is
+    what makes trace trees comparable across engines.
+    """
+    if isinstance(pattern, Atomic):
+        return pattern.to_query_text()
+    bound = getattr(pattern, "bound", None)
+    if bound is not None:
+        return f"⊳[{bound}]"
+    return pattern.symbol
 
 
 @dataclass
@@ -27,16 +47,51 @@ class EvaluationStats:
         evaluations — the paper's ``n1*n2`` cost driver (Lemma 1).
     incidents_produced:
         Total incidents materialised, including intermediates.
+    max_live_incidents:
+        Peak size of any single materialised incident set (the quantity
+        an ``max_incidents`` budget actually guards, per Theorem 1).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` adapter: when
+        set, the note methods mirror their counts into engine metrics, so
+        existing ``EvaluationStats`` consumers keep working while metrics
+        consumers see the same numbers.
     """
 
     operator_evals: int = 0
     pairs_examined: int = 0
     incidents_produced: int = 0
+    max_live_incidents: int = 0
     per_operator: dict[str, int] = field(default_factory=dict)
+    registry: MetricsRegistry | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def note_operator(self, symbol: str) -> None:
         self.operator_evals += 1
         self.per_operator[symbol] = self.per_operator.get(symbol, 0) + 1
+        if self.registry is not None:
+            self.registry.counter("engine.operator_evals").inc()
+            self.registry.counter(f"engine.operator_evals.{symbol}").inc()
+
+    def note_live(self, size: int) -> None:
+        """Record one materialised incident-set size (tracks the peak)."""
+        if size > self.max_live_incidents:
+            self.max_live_incidents = size
+
+    def publish(self) -> None:
+        """Flush the whole-evaluation totals into the bound registry.
+
+        Engines call this once per evaluation; per-pair counts are
+        accumulated locally (plain int adds on the hot path) and exported
+        in one shot here.
+        """
+        if self.registry is None:
+            return
+        registry = self.registry
+        registry.counter("engine.evaluations").inc()
+        registry.counter("engine.pairs_examined").inc(self.pairs_examined)
+        registry.counter("engine.incidents_produced").inc(self.incidents_produced)
+        registry.gauge("engine.max_live_incidents").set_max(self.max_live_incidents)
 
 
 class Engine(ABC):
@@ -49,13 +104,53 @@ class Engine(ABC):
         exceeds this size, :class:`~repro.core.errors.BudgetExceededError`
         is raised.  Incident sets can be exponential in pattern size
         (Theorem 1), so long-running services should always set a cap.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When supplied, each
+        evaluation records a span tree mirroring the incident tree, with
+        per-node operand cardinalities, pairs examined, incidents
+        produced and elapsed time.  Defaults to the no-op
+        :data:`~repro.obs.tracer.NULL_TRACER`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving the
+        ``engine.*`` counter family.
     """
 
     name = "abstract"
 
-    def __init__(self, *, max_incidents: int | None = None):
+    def __init__(
+        self,
+        *,
+        max_incidents: int | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.max_incidents = max_incidents
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.last_stats: EvaluationStats | None = None
+
+    @property
+    def last_trace(self) -> Span | None:
+        """Root span of the most recent traced evaluation (None when the
+        engine runs with the null tracer)."""
+        return self.tracer.last_root
+
+    def _new_stats(self) -> EvaluationStats:
+        return EvaluationStats(registry=self.metrics)
+
+    def _finish(self, stats: EvaluationStats) -> None:
+        """Install ``stats`` as ``last_stats`` and flush it to metrics."""
+        self.last_stats = stats
+        stats.publish()
+        if logger.isEnabledFor(10):  # logging.DEBUG
+            logger.debug(
+                "%s: %d operator eval(s), %d pairs, %d incidents, peak %d",
+                self.name,
+                stats.operator_evals,
+                stats.pairs_examined,
+                stats.incidents_produced,
+                stats.max_live_incidents,
+            )
 
     @abstractmethod
     def evaluate(self, log: Log, pattern: Pattern) -> IncidentSet:

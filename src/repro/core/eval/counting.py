@@ -30,6 +30,8 @@ from repro.core.errors import EvaluationError
 from repro.core.algebra import flatten_chain
 from repro.core.model import Log
 from repro.core.pattern import Atomic, Consecutive, Pattern, Sequential
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["supports_counting", "count_incidents"]
 
@@ -42,8 +44,19 @@ def supports_counting(pattern: Pattern) -> bool:
     return all(isinstance(item, Atomic) for item in items)
 
 
-def count_incidents(log: Log, pattern: Pattern) -> int:
-    """Exact ``|incL(pattern)|`` for a supported chain pattern."""
+def count_incidents(
+    log: Log,
+    pattern: Pattern,
+    *,
+    tracer: Tracer | NullTracer = NULL_TRACER,
+    metrics: MetricsRegistry | None = None,
+) -> int:
+    """Exact ``|incL(pattern)|`` for a supported chain pattern.
+
+    The counting DP never materialises incident sets, so its trace is a
+    single ``count`` span (chain length and instance count as metrics)
+    rather than a per-node tree.
+    """
     if not supports_counting(pattern):
         raise EvaluationError(
             "counting DP supports chains of atomic leaves joined by "
@@ -51,8 +64,13 @@ def count_incidents(log: Log, pattern: Pattern) -> int:
         )
     items, gaps = flatten_chain(pattern)
     total = 0
-    for wid in log.wids:
-        total += _count_instance(log, wid, items, gaps)
+    with tracer.span("count", key=(), pattern=str(pattern)) as span:
+        for wid in log.wids:
+            total += _count_instance(log, wid, items, gaps)
+        span.add(instances=len(log.wids), chain_length=len(items), incidents=total)
+    if metrics is not None:
+        metrics.counter("engine.counting_evals").inc()
+        metrics.counter("engine.counted_incidents").inc(total)
     return total
 
 

@@ -44,8 +44,11 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.core.errors import BudgetExceededError, EvaluationError
+from repro.core.eval.base import EvaluationStats, node_label
 from repro.core.incident import Incident, IncidentSet
 from repro.core.model import Log, LogRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.core.pattern import (
     Atomic,
     BinaryPattern,
@@ -113,6 +116,13 @@ class IncrementalEvaluator:
         Optional cap on the total incidents held at the root (monitors of
         explosive patterns should always set one); exceeding it raises
         :class:`~repro.core.errors.BudgetExceededError`.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; appends accumulate
+        into one span tree mirroring the incident tree, the same shape
+        the batch engines trace.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` fed through
+        the evaluator's :class:`EvaluationStats` adapter (``stats``).
     """
 
     def __init__(
@@ -121,9 +131,13 @@ class IncrementalEvaluator:
         log: Log | None = None,
         *,
         max_incidents: int | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.pattern = pattern
         self.max_incidents = max_incidents
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = EvaluationStats(registry=metrics)
         self._root = _Node(pattern)
         self._last_lsn = 0
         self._next_is_lsn: dict[int, int] = {}
@@ -155,7 +169,8 @@ class IncrementalEvaluator:
         self._next_is_lsn[record.wid] = expected + 1
         self._records_seen += 1
 
-        delta = self._propagate(self._root, record)
+        with self.tracer.span("evaluate", key=(), pattern=str(self.pattern)):
+            delta = self._propagate(self._root, record, "root")
         if self.max_incidents is not None:
             total = sum(
                 len(s.incidents) for s in self._root.state.values()
@@ -201,8 +216,17 @@ class IncrementalEvaluator:
 
     # -- delta propagation -------------------------------------------------
 
-    def _propagate(self, node: _Node, record: LogRecord) -> list[Incident]:
+    def _propagate(
+        self, node: _Node, record: LogRecord, key: int | str
+    ) -> list[Incident]:
         """Push one record through the subtree; returns the node's delta."""
+        with self.tracer.span(node_label(node.pattern), key=key) as span:
+            fresh = self._propagate_inner(node, record, span)
+            span.add(incidents=len(fresh))
+            self.stats.incidents_produced += len(fresh)
+        return fresh
+
+    def _propagate_inner(self, node: _Node, record: LogRecord, span) -> list[Incident]:
         wid = record.wid
         if isinstance(node.pattern, Atomic):
             if node.pattern.matches(record):
@@ -216,14 +240,16 @@ class IncrementalEvaluator:
         n_left_before = len(left_state.incidents)
         n_right_before = len(right_state.incidents)
 
-        delta_left = self._propagate(node.left, record)
-        delta_right = self._propagate(node.right, record)
+        delta_left = self._propagate(node.left, record, 0)
+        delta_right = self._propagate(node.right, record, 1)
         if not delta_left and not delta_right:
             return []
 
         old_left = left_state.incidents[:n_left_before]
         old_right = right_state.incidents[:n_right_before]
         pattern = node.pattern
+        stats = self.stats
+        stats.note_operator(pattern.symbol)
 
         if isinstance(pattern, Choice):
             return node.state_for(wid).add_new(delta_left + delta_right)
@@ -234,9 +260,11 @@ class IncrementalEvaluator:
             (old_left, delta_right),
             (delta_left, delta_right),
         )
+        pairs = 0
         for side1, side2 in joins:
             for o1 in side1:
                 for o2 in side2:
+                    pairs += 1
                     if isinstance(pattern, (Consecutive, Sequential)):
                         if pattern.gap_ok(o1.last, o2.first):
                             candidates.append(o1.union(o2))
@@ -244,4 +272,9 @@ class IncrementalEvaluator:
                         assert isinstance(pattern, Parallel)
                         if o1.disjoint(o2):
                             candidates.append(o1.union(o2))
-        return node.state_for(wid).add_new(candidates)
+        stats.pairs_examined += pairs
+        span.add(pairs=pairs)
+        state = node.state_for(wid)
+        added = state.add_new(candidates)
+        stats.note_live(len(state.incidents))
+        return added

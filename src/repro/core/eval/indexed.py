@@ -28,7 +28,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections.abc import Sequence
 
-from repro.core.eval.base import Engine, EvaluationStats
+from repro.core.eval.base import Engine, EvaluationStats, node_label
 from repro.core.incident import Incident, IncidentSet
 from repro.core.model import Log, LogRecord
 from repro.core.pattern import (
@@ -54,13 +54,15 @@ class IndexedEngine(Engine):
     name = "indexed"
 
     def evaluate(self, log: Log, pattern: Pattern) -> IncidentSet:
-        stats = EvaluationStats()
+        stats = self._new_stats()
         out: list[Incident] = []
-        for wid in log.wids:
-            out.extend(self._eval_node(log, wid, pattern, stats))
-        self._check_budget(len(out))
-        stats.incidents_produced += len(out)
-        self.last_stats = stats
+        with self.tracer.span("evaluate", key=(), engine=self.name, pattern=str(pattern)):
+            for wid in log.wids:
+                out.extend(self._eval_node(log, wid, pattern, stats, "root"))
+            self._check_budget(len(out))
+            stats.note_live(len(out))
+            stats.incidents_produced += len(out)
+        self._finish(stats)
         return IncidentSet(out)
 
     def count(self, log: Log, pattern: Pattern) -> int:
@@ -70,7 +72,9 @@ class IndexedEngine(Engine):
         from repro.core.eval.counting import count_incidents, supports_counting
 
         if supports_counting(pattern):
-            return count_incidents(log, pattern)
+            return count_incidents(
+                log, pattern, tracer=self.tracer, metrics=self.metrics
+            )
         return len(self.evaluate(log, pattern))
 
     def exists(self, log: Log, pattern: Pattern) -> bool:
@@ -86,40 +90,55 @@ class IndexedEngine(Engine):
                 _earliest_end(log.instance(wid), pattern, 1) is not None
                 for wid in log.wids
             )
-        stats = EvaluationStats()
+        stats = self._new_stats()
         for wid in log.wids:
             if self._eval_node(log, wid, pattern, stats):
-                self.last_stats = stats
+                self._finish(stats)
                 return True
-        self.last_stats = stats
+        self._finish(stats)
         return False
 
     # -- node evaluation ---------------------------------------------------
 
     def _eval_node(
-        self, log: Log, wid: int, pattern: Pattern, stats: EvaluationStats
+        self,
+        log: Log,
+        wid: int,
+        pattern: Pattern,
+        stats: EvaluationStats,
+        key: int | str = "root",
     ) -> list[Incident]:
         """Incidents of ``pattern`` within instance ``wid``, sorted by
         ``first``."""
-        if isinstance(pattern, Atomic):
-            result = self._eval_atomic(log, wid, pattern)
-        else:
-            assert isinstance(pattern, BinaryPattern)
-            left = self._eval_node(log, wid, pattern.left, stats)
-            right = self._eval_node(log, wid, pattern.right, stats)
-            stats.note_operator(pattern.symbol)
-            if isinstance(pattern, Sequential):
-                result = self._join_sequential(
-                    left, right, stats, bound=getattr(pattern, "bound", None)
-                )
-            elif isinstance(pattern, Consecutive):
-                result = self._join_consecutive(left, right, stats)
-            elif isinstance(pattern, Parallel):
-                result = self._join_parallel(left, right, stats)
+        with self.tracer.span(node_label(pattern), key=key) as span:
+            if isinstance(pattern, Atomic):
+                result = self._eval_atomic(log, wid, pattern)
             else:
-                result = self._union_choice(left, right, stats)
-        self._check_budget(len(result))
-        stats.incidents_produced += len(result)
+                assert isinstance(pattern, BinaryPattern)
+                left = self._eval_node(log, wid, pattern.left, stats, 0)
+                right = self._eval_node(log, wid, pattern.right, stats, 1)
+                stats.note_operator(pattern.symbol)
+                pairs_before = stats.pairs_examined
+                if isinstance(pattern, Sequential):
+                    result = self._join_sequential(
+                        left, right, stats, bound=getattr(pattern, "bound", None)
+                    )
+                elif isinstance(pattern, Consecutive):
+                    result = self._join_consecutive(left, right, stats)
+                elif isinstance(pattern, Parallel):
+                    result = self._join_parallel(left, right, stats)
+                else:
+                    result = self._union_choice(left, right, stats)
+                span.set_tag("operator", pattern.symbol)
+                span.add(
+                    n1=len(left),
+                    n2=len(right),
+                    pairs=stats.pairs_examined - pairs_before,
+                )
+            self._check_budget(len(result))
+            stats.note_live(len(result))
+            stats.incidents_produced += len(result)
+            span.add(incidents=len(result))
         return result
 
     def _eval_atomic(self, log: Log, wid: int, pattern: Atomic) -> list[Incident]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
-from repro.core.eval.base import Engine, EvaluationStats
+from repro.core.eval.base import Engine, EvaluationStats, node_label
 from repro.core.incident import Incident, IncidentSet
 from repro.core.model import Log
 from repro.core.pattern import (
@@ -145,42 +145,59 @@ class NaiveEngine(Engine):
     name = "naive"
 
     def evaluate(self, log: Log, pattern: Pattern) -> IncidentSet:
-        stats = EvaluationStats()
+        stats = self._new_stats()
         incidents: list[Incident] = []
-        for wid in log.wids:
-            incidents.extend(self._eval_node(log, wid, pattern, stats))
-        self._check_budget(len(incidents))
-        stats.incidents_produced += len(incidents)
-        self.last_stats = stats
+        with self.tracer.span("evaluate", key=(), engine=self.name, pattern=str(pattern)):
+            for wid in log.wids:
+                incidents.extend(self._eval_node(log, wid, pattern, stats, "root"))
+            self._check_budget(len(incidents))
+            stats.note_live(len(incidents))
+            stats.incidents_produced += len(incidents)
+        self._finish(stats)
         return IncidentSet(incidents)
 
     def _eval_node(
-        self, log: Log, wid: int, pattern: Pattern, stats: EvaluationStats
+        self,
+        log: Log,
+        wid: int,
+        pattern: Pattern,
+        stats: EvaluationStats,
+        key: int | str = "root",
     ) -> list[Incident]:
-        if isinstance(pattern, Atomic):
-            if pattern.negated:
-                candidates = log.instance(wid)
+        with self.tracer.span(node_label(pattern), key=key) as span:
+            if isinstance(pattern, Atomic):
+                if pattern.negated:
+                    candidates = log.instance(wid)
+                else:
+                    # per-activity index lookup ("constant time" per Section 3.2)
+                    candidates = [
+                        r for r in log.with_activity(pattern.name) if r.wid == wid
+                    ]
+                result = [Incident([r]) for r in candidates if pattern.matches(r)]
             else:
-                # per-activity index lookup ("constant time" per Section 3.2)
-                candidates = [
-                    r for r in log.with_activity(pattern.name) if r.wid == wid
-                ]
-            result = [Incident([r]) for r in candidates if pattern.matches(r)]
-        else:
-            assert isinstance(pattern, BinaryPattern)
-            left = self._eval_node(log, wid, pattern.left, stats)
-            right = self._eval_node(log, wid, pattern.right, stats)
-            stats.note_operator(pattern.symbol)
-            if isinstance(pattern, Consecutive):
-                result = consecutive_eval(left, right, stats, pattern.gap_ok)
-            elif isinstance(pattern, Sequential):
-                result = sequential_eval(left, right, stats, pattern.gap_ok)
-            elif isinstance(pattern, Choice):
-                result = choice_eval(left, right, stats)
-            elif isinstance(pattern, Parallel):
-                result = parallel_eval(left, right, stats)
-            else:  # pragma: no cover
-                raise TypeError(f"unknown operator {type(pattern).__name__}")
-        self._check_budget(len(result))
-        stats.incidents_produced += len(result)
+                assert isinstance(pattern, BinaryPattern)
+                left = self._eval_node(log, wid, pattern.left, stats, 0)
+                right = self._eval_node(log, wid, pattern.right, stats, 1)
+                stats.note_operator(pattern.symbol)
+                pairs_before = stats.pairs_examined
+                if isinstance(pattern, Consecutive):
+                    result = consecutive_eval(left, right, stats, pattern.gap_ok)
+                elif isinstance(pattern, Sequential):
+                    result = sequential_eval(left, right, stats, pattern.gap_ok)
+                elif isinstance(pattern, Choice):
+                    result = choice_eval(left, right, stats)
+                elif isinstance(pattern, Parallel):
+                    result = parallel_eval(left, right, stats)
+                else:  # pragma: no cover
+                    raise TypeError(f"unknown operator {type(pattern).__name__}")
+                span.set_tag("operator", pattern.symbol)
+                span.add(
+                    n1=len(left),
+                    n2=len(right),
+                    pairs=stats.pairs_examined - pairs_before,
+                )
+            self._check_budget(len(result))
+            stats.note_live(len(result))
+            stats.incidents_produced += len(result)
+            span.add(incidents=len(result))
         return result

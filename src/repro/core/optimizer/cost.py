@@ -167,6 +167,23 @@ class CostModel:
             return n1 + n2
         return n1 * n2
 
+    def pairs_estimate(self, pattern: Pattern) -> float:
+        """Predicted pairs examined at the *root* node of ``pattern``
+        (0 for leaves): the Lemma 1 join cost under estimated input
+        cardinalities.
+
+        This is the number ``repro-logs profile`` reconciles against the
+        measured per-node ``pairs`` metric — the cost model's testable
+        prediction for one operator evaluation.
+        """
+        if isinstance(pattern, Atomic):
+            return 0.0
+        return self.join_cost(
+            pattern,
+            self.cardinality(pattern.left),
+            self.cardinality(pattern.right),
+        )
+
     def plan_cost(self, pattern: Pattern) -> float:
         """Total estimated evaluation cost: the sum over all operator nodes
         of the node's join cost under estimated input cardinalities (leaf

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import OptimizerError
 from repro.core.model import Log
+from repro.obs.log import get_logger
 from repro.core.optimizer.cost import CostModel, LogStatistics
 from repro.core.optimizer.rules import normalize, push_choice_out
 from repro.core.algebra import flatten_chain
@@ -37,6 +38,8 @@ from repro.core.pattern import (
 )
 
 __all__ = ["Optimizer", "OptimizedPlan", "reassociate_chain"]
+
+logger = get_logger("core.optimizer")
 
 
 @dataclass
@@ -182,11 +185,20 @@ class Optimizer:
             )
             current = distributed
 
+        optimized_cost = self.model.plan_cost(current)
+        logger.debug(
+            "optimized %s -> %s (cost %.1f -> %.1f, %d transformation(s))",
+            pattern,
+            current,
+            original_cost,
+            optimized_cost,
+            len(transformations),
+        )
         return OptimizedPlan(
             original=pattern,
             optimized=current,
             original_cost=original_cost,
-            optimized_cost=self.model.plan_cost(current),
+            optimized_cost=optimized_cost,
             transformations=transformations,
         )
 

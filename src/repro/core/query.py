@@ -37,13 +37,22 @@ ENGINES: dict[str, type[Engine]] = {
 }
 
 
-def _resolve_engine(engine: str | Engine | None, max_incidents: int | None) -> Engine:
-    if engine is None:
-        return IndexedEngine(max_incidents=max_incidents)
+def _resolve_engine(
+    engine: str | Engine | None,
+    max_incidents: int | None,
+    tracer=None,
+    metrics=None,
+) -> Engine:
     if isinstance(engine, Engine):
         return engine
+    if engine is None:
+        return IndexedEngine(
+            max_incidents=max_incidents, tracer=tracer, metrics=metrics
+        )
     try:
-        return ENGINES[engine](max_incidents=max_incidents)
+        return ENGINES[engine](
+            max_incidents=max_incidents, tracer=tracer, metrics=metrics
+        )
     except KeyError:
         raise ReproError(
             f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
@@ -67,6 +76,10 @@ class Query:
     max_incidents:
         Optional cap on materialised incidents (see
         :class:`~repro.core.eval.base.Engine`).
+    tracer / metrics:
+        Optional observability hooks forwarded to the engine when it is
+        constructed here (ignored when an engine *instance* is passed —
+        configure that engine directly).  See :mod:`repro.obs`.
     """
 
     def __init__(
@@ -76,13 +89,15 @@ class Query:
         engine: str | Engine | None = None,
         optimize: bool = True,
         max_incidents: int | None = None,
+        tracer=None,
+        metrics=None,
     ):
         if isinstance(pattern, str):
             pattern = parse(pattern)
         if not isinstance(pattern, Pattern):
             raise TypeError(f"expected Pattern or str, got {type(pattern).__name__}")
         self.pattern = pattern
-        self.engine = _resolve_engine(engine, max_incidents)
+        self.engine = _resolve_engine(engine, max_incidents, tracer, metrics)
         self.optimize = optimize
         self._last_plan: OptimizedPlan | None = None
 

@@ -12,10 +12,15 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections.abc import Iterable
+from time import perf_counter
 
 from repro.core.model import Log, LogRecord
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["LogIndex"]
+
+logger = get_logger("logstore.index")
 
 
 class LogIndex:
@@ -29,21 +34,42 @@ class LogIndex:
       consecutive operator's ``last+1`` probe in O(1));
     * occurrence counts for cardinality estimation.
 
-    Records must be added in ascending ``lsn`` order.
+    Records must be added in ascending ``lsn`` order.  An optional
+    ``metrics`` registry receives the ``index.*`` family (records added,
+    bulk-build seconds, instance/activity gauges).
     """
 
-    def __init__(self, records: Iterable[LogRecord] = ()):
+    def __init__(
+        self,
+        records: Iterable[LogRecord] = (),
+        *,
+        metrics: MetricsRegistry | None = None,
+    ):
         self._positions: dict[tuple[int, str], list[int]] = {}
         self._by_pos: dict[tuple[int, int], LogRecord] = {}
         self._instance_len: dict[int, int] = {}
         self._count: dict[str, int] = {}
         self._last_lsn = 0
+        self.metrics = metrics
+        started = perf_counter()
+        added = 0
         for record in records:
             self.add(record)
+            added += 1
+        if added and metrics is not None:
+            metrics.histogram("index.build_seconds").observe(perf_counter() - started)
+        if added:
+            logger.debug(
+                "built index over %d records in %.3fms",
+                added,
+                (perf_counter() - started) * 1e3,
+            )
 
     @classmethod
-    def from_log(cls, log: Log) -> "LogIndex":
-        return cls(log.records)
+    def from_log(
+        cls, log: Log, *, metrics: MetricsRegistry | None = None
+    ) -> "LogIndex":
+        return cls(log.records, metrics=metrics)
 
     def add(self, record: LogRecord) -> None:
         """Index one record (must arrive in ascending lsn order)."""
@@ -61,6 +87,10 @@ class LogIndex:
             self._instance_len.get(record.wid, 0), record.is_lsn
         )
         self._count[record.activity] = self._count.get(record.activity, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter("index.records_added").inc()
+            self.metrics.gauge("index.instances").set(len(self._instance_len))
+            self.metrics.gauge("index.activities").set(len(self._count))
 
     # -- lookups -----------------------------------------------------------
 

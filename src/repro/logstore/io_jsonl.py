@@ -14,6 +14,9 @@ from typing import IO, Union
 
 from repro.core.errors import LogStoreError
 from repro.core.model import Log, LogRecord
+from repro.obs.log import get_logger
+
+logger = get_logger("logstore.io")
 
 __all__ = ["write_jsonl", "read_jsonl", "dumps", "loads"]
 
@@ -50,6 +53,7 @@ def write_jsonl(log: Log, target: PathOrIO) -> None:
         target.write(text)
     else:
         Path(target).write_text(text, encoding="utf-8")
+        logger.debug("wrote %d records to %s", len(log), target)
 
 
 def read_jsonl(source: PathOrIO, *, validate: bool = True) -> Log:
@@ -58,4 +62,8 @@ def read_jsonl(source: PathOrIO, *, validate: bool = True) -> Log:
         text = source.read()
     else:
         text = Path(source).read_text(encoding="utf-8")
-    return loads(text, validate=validate)
+    log = loads(text, validate=validate)
+    logger.debug(
+        "read %d records / %d instances", len(log), len(log.wids)
+    )
+    return log

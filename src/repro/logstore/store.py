@@ -24,8 +24,12 @@ from collections.abc import Iterator
 
 from repro.core.errors import LogStoreError
 from repro.core.model import END, START, AttrMap, Log, LogRecord
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["LogStore"]
+
+logger = get_logger("logstore.store")
 
 
 class LogStore:
@@ -34,13 +38,21 @@ class LogStore:
     The store is the write-side companion of the read-only
     :class:`~repro.core.model.Log`: workflow engines (or adapters tailing
     a real system) push records in, queries run over snapshots.
+
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving the
+        ``logstore.*`` counter family (records appended, instances
+        opened/closed, snapshots taken).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics: MetricsRegistry | None = None) -> None:
         self._records: list[LogRecord] = []
         self._next_is_lsn: dict[int, int] = {}
         self._closed: set[int] = set()
         self._next_wid = 1
+        self.metrics = metrics
 
     # -- instance lifecycle ----------------------------------------------
 
@@ -58,12 +70,18 @@ class LogStore:
         self._next_wid = max(self._next_wid, wid + 1)
         self._next_is_lsn[wid] = 1
         self._append_raw(wid, START)
+        if self.metrics is not None:
+            self.metrics.counter("logstore.instances_opened").inc()
+        logger.debug("opened instance %d", wid)
         return wid
 
     def close_instance(self, wid: int) -> LogRecord:
         """Write the instance's ``END`` record; further appends fail."""
         record = self._append_raw(wid, END)
         self._closed.add(wid)
+        if self.metrics is not None:
+            self.metrics.counter("logstore.instances_closed").inc()
+        logger.debug("closed instance %d at lsn %d", wid, record.lsn)
         return record
 
     def is_open(self, wid: int) -> bool:
@@ -108,6 +126,8 @@ class LogStore:
         )
         self._records.append(record)
         self._next_is_lsn[wid] += 1
+        if self.metrics is not None:
+            self.metrics.counter("logstore.records_appended").inc()
         return record
 
     # -- reading -----------------------------------------------------------
@@ -135,6 +155,13 @@ class LogStore:
         appending afterwards."""
         if not self._records:
             raise LogStoreError("cannot snapshot an empty store")
+        if self.metrics is not None:
+            self.metrics.counter("logstore.snapshots").inc()
+        logger.debug(
+            "snapshot: %d records / %d instances",
+            len(self._records),
+            len(self._next_is_lsn),
+        )
         return Log(self._records)
 
     @classmethod

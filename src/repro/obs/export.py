@@ -1,0 +1,253 @@
+"""Trace/metrics/profile exporters and their stable JSON schemas.
+
+Three document kinds, each tagged with a ``schema`` field so downstream
+tooling can dispatch and version-check:
+
+* ``repro.obs.trace/v1``   — a span tree (:func:`trace_to_dict`);
+* ``repro.obs.metrics/v1`` — a registry snapshot (:func:`metrics_to_dict`);
+* ``repro.obs.profile/v1`` — a per-node cost breakdown with cost-model
+  predictions (:meth:`repro.obs.profile.ProfileReport.to_dict`).
+
+``validate_*`` functions are dependency-free structural validators (no
+jsonschema): they raise :class:`SchemaError` on the first violation and
+are what the CI smoke job and the golden-file tests run.  Timing fields
+are the only non-deterministic part of a trace; ``include_timing=False``
+omits them, giving byte-stable documents for golden files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "SchemaError",
+    "trace_to_dict",
+    "metrics_to_dict",
+    "render_trace",
+    "validate_trace",
+    "validate_metrics",
+    "validate_profile",
+]
+
+TRACE_SCHEMA = "repro.obs.trace/v1"
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+PROFILE_SCHEMA = "repro.obs.profile/v1"
+
+
+class SchemaError(ValueError):
+    """An exported document does not match its declared schema."""
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+
+def _span_to_dict(span: Span, include_timing: bool) -> dict[str, Any]:
+    node: dict[str, Any] = {
+        "label": span.label,
+        "count": span.count,
+        "tags": {k: v for k, v in sorted(span.tags.items())},
+        "metrics": {k: span.metrics[k] for k in sorted(span.metrics)},
+        "children": [_span_to_dict(c, include_timing) for c in span.children],
+    }
+    if include_timing:
+        node["elapsed_s"] = span.elapsed_s
+        node["cpu_s"] = span.cpu_s
+    return node
+
+
+def trace_to_dict(root: Span, *, include_timing: bool = True) -> dict[str, Any]:
+    """Serialise one trace tree to the ``repro.obs.trace/v1`` schema."""
+    return {"schema": TRACE_SCHEMA, "root": _span_to_dict(root, include_timing)}
+
+
+def metrics_to_dict(registry: MetricsRegistry) -> dict[str, Any]:
+    """Serialise a registry snapshot to the ``repro.obs.metrics/v1`` schema."""
+    return {"schema": METRICS_SCHEMA, **registry.snapshot()}
+
+
+# ---------------------------------------------------------------------------
+# human-readable trace trees
+# ---------------------------------------------------------------------------
+
+def _span_line(span: Span, show_timing: bool) -> str:
+    parts = [f"count={span.count}"]
+    for name in ("n1", "n2", "pairs", "incidents"):
+        if name in span.metrics:
+            parts.append(f"{name}={span.metrics[name]:g}")
+    if show_timing:
+        parts.append(f"{span.elapsed_s * 1e3:.2f}ms")
+    return f"{span.label}  [{' '.join(parts)}]"
+
+
+def render_trace(root: Span, *, show_timing: bool = True) -> str:
+    """ASCII tree of a trace, one line per span.
+
+    Matches the connector style of
+    :func:`repro.core.eval.tree.render_tree`.
+    """
+    lines = [_span_line(root, show_timing)]
+    _render_children(root, "", lines, show_timing)
+    return "\n".join(lines)
+
+
+def _render_children(
+    span: Span, prefix: str, lines: list[str], show_timing: bool
+) -> None:
+    children = span.children
+    for index, child in enumerate(children):
+        last = index == len(children) - 1
+        connector, extension = ("└── ", "    ") if last else ("├── ", "│   ")
+        lines.append(prefix + connector + _span_line(child, show_timing))
+        _render_children(child, prefix + extension, lines, show_timing)
+
+
+# ---------------------------------------------------------------------------
+# validators
+# ---------------------------------------------------------------------------
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _require_mapping(doc: Any, what: str) -> Mapping[str, Any]:
+    _require(isinstance(doc, Mapping), f"{what} must be an object")
+    return doc
+
+
+def _validate_span(node: Any, path: str) -> None:
+    node = _require_mapping(node, f"span {path}")
+    for field in ("label", "count", "tags", "metrics", "children"):
+        _require(field in node, f"span {path} is missing {field!r}")
+    _require(isinstance(node["label"], str), f"span {path}: label must be a string")
+    _require(
+        isinstance(node["count"], int) and node["count"] >= 0,
+        f"span {path}: count must be a non-negative integer",
+    )
+    _require_mapping(node["tags"], f"span {path} tags")
+    metrics = _require_mapping(node["metrics"], f"span {path} metrics")
+    for name, value in metrics.items():
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"span {path}: metric {name!r} must be numeric",
+        )
+    for field in ("elapsed_s", "cpu_s"):
+        if field in node:
+            _require(
+                isinstance(node[field], (int, float)) and node[field] >= 0,
+                f"span {path}: {field} must be a non-negative number",
+            )
+    _require(isinstance(node["children"], list), f"span {path}: children must be a list")
+    for index, child in enumerate(node["children"]):
+        _validate_span(child, f"{path}.{index}")
+
+
+def validate_trace(doc: Any) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` is a valid trace export."""
+    doc = _require_mapping(doc, "trace document")
+    _require(doc.get("schema") == TRACE_SCHEMA, f"schema must be {TRACE_SCHEMA!r}")
+    _require("root" in doc, "trace document is missing 'root'")
+    _validate_span(doc["root"], "root")
+
+
+def validate_metrics(doc: Any) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` is a valid metrics export."""
+    doc = _require_mapping(doc, "metrics document")
+    _require(doc.get("schema") == METRICS_SCHEMA, f"schema must be {METRICS_SCHEMA!r}")
+    for section in ("counters", "gauges", "histograms"):
+        _require(section in doc, f"metrics document is missing {section!r}")
+    for name, value in _require_mapping(doc["counters"], "counters").items():
+        _require(
+            isinstance(value, int) and value >= 0,
+            f"counter {name!r} must be a non-negative integer",
+        )
+    for name, value in _require_mapping(doc["gauges"], "gauges").items():
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"gauge {name!r} must be numeric",
+        )
+    for name, hist in _require_mapping(doc["histograms"], "histograms").items():
+        hist = _require_mapping(hist, f"histogram {name!r}")
+        for field in ("buckets", "counts", "sum", "count"):
+            _require(field in hist, f"histogram {name!r} is missing {field!r}")
+        buckets, counts = hist["buckets"], hist["counts"]
+        _require(
+            isinstance(buckets, list) and isinstance(counts, list),
+            f"histogram {name!r}: buckets/counts must be lists",
+        )
+        _require(
+            len(counts) == len(buckets) + 1,
+            f"histogram {name!r}: need len(buckets)+1 counts (overflow bucket)",
+        )
+        _require(
+            list(buckets) == sorted(set(float(b) for b in buckets)),
+            f"histogram {name!r}: boundaries must be unique and ascending",
+        )
+        _require(
+            sum(counts) == hist["count"],
+            f"histogram {name!r}: counts must sum to 'count'",
+        )
+
+
+_PROFILE_NODE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "path": str,
+    "label": str,
+    "kind": str,
+    "count": int,
+    "incidents": (int, float),
+    "elapsed_s": (int, float),
+    "self_s": (int, float),
+}
+
+_PROFILE_TOTAL_FIELDS = (
+    "operator_evals",
+    "pairs_examined",
+    "incidents_produced",
+    "max_live_incidents",
+    "predicted_pairs",
+    "elapsed_s",
+)
+
+
+def validate_profile(doc: Any) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` is a valid profile export."""
+    doc = _require_mapping(doc, "profile document")
+    _require(doc.get("schema") == PROFILE_SCHEMA, f"schema must be {PROFILE_SCHEMA!r}")
+    for field in ("engine", "pattern", "optimized", "totals", "nodes", "hottest"):
+        _require(field in doc, f"profile document is missing {field!r}")
+    _require(isinstance(doc["engine"], str), "engine must be a string")
+    _require(isinstance(doc["pattern"], str), "pattern must be a string")
+    _require(isinstance(doc["optimized"], str), "optimized must be a string")
+    totals = _require_mapping(doc["totals"], "totals")
+    for field in _PROFILE_TOTAL_FIELDS:
+        _require(field in totals, f"totals is missing {field!r}")
+        _require(
+            isinstance(totals[field], (int, float)) and not isinstance(totals[field], bool),
+            f"totals[{field!r}] must be numeric",
+        )
+    nodes = doc["nodes"]
+    _require(isinstance(nodes, list) and nodes, "nodes must be a non-empty list")
+    paths = set()
+    for node in nodes:
+        node = _require_mapping(node, "profile node")
+        for field, kinds in _PROFILE_NODE_FIELDS.items():
+            _require(field in node, f"profile node is missing {field!r}")
+            _require(
+                isinstance(node[field], kinds) and not isinstance(node[field], bool),
+                f"profile node field {field!r} has the wrong type",
+            )
+        _require(node["kind"] in ("operator", "leaf"), "node kind must be operator|leaf")
+        if node["kind"] == "operator":
+            for field in ("operator", "n1", "n2", "pairs", "predicted_pairs"):
+                _require(field in node, f"operator node is missing {field!r}")
+        paths.add(node["path"])
+    hottest = _require_mapping(doc["hottest"], "hottest")
+    _require("path" in hottest and "label" in hottest, "hottest needs path and label")
+    _require(hottest["path"] in paths, "hottest.path must name an exported node")

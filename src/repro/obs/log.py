@@ -1,0 +1,60 @@
+"""The ``repro`` diagnostic logging channel.
+
+Every module logs under the ``repro.*`` hierarchy via :func:`get_logger`;
+the package root attaches a :class:`logging.NullHandler`, so a library
+consumer sees nothing unless they configure logging themselves.  The CLI
+turns the channel on with ``-v`` (INFO) / ``-vv`` (DEBUG) through
+:func:`enable_verbose`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER", "get_logger", "enable_verbose", "install_null_handler"]
+
+#: Name of the hierarchy root.
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger ``repro`` (no name) or ``repro.<name>``.
+
+    ``name`` may be a module's ``__name__``; a leading ``repro.`` prefix
+    is not doubled.
+    """
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def install_null_handler() -> None:
+    """Attach the library-default NullHandler to the hierarchy root
+    (idempotent); called from ``repro/__init__``."""
+    root = logging.getLogger(ROOT_LOGGER)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+
+
+def enable_verbose(
+    verbosity: int = 1, *, stream: IO[str] | None = None
+) -> logging.Handler | None:
+    """Route ``repro.*`` records to ``stream`` (default stderr).
+
+    ``verbosity`` 0 is a no-op, 1 enables INFO, 2+ enables DEBUG.
+    Returns the installed handler so callers (and tests) can remove it.
+    """
+    if verbosity <= 0:
+        return None
+    root = logging.getLogger(ROOT_LOGGER)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
+    return handler

@@ -1,0 +1,187 @@
+"""Counters, gauges and histograms behind a registry.
+
+The registry is deliberately tiny and dependency-free: metric objects are
+plain attribute bags created on first use and looked up by name, so the
+hot-path cost of recording is one dict lookup plus an addition.  Fixed
+histogram bucket boundaries make snapshots mergeable across processes and
+stable for the JSON exporter (:mod:`repro.obs.export`).
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("engine.pairs_examined").inc(42)
+>>> registry.gauge("engine.max_live_incidents").set_max(7)
+>>> registry.histogram("monitor.observe_seconds").observe(0.003)
+>>> registry.counter("engine.pairs_examined").value
+42
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Exponential boundaries for latency histograms, in seconds (1µs .. 10s).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: Powers-of-ten boundaries for size/cardinality histograms.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """Last-written (or peak-tracked) value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the peak: write only if ``value`` exceeds the current one."""
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Histogram with fixed, ascending bucket boundaries.
+
+    ``counts[i]`` counts observations ``<= buckets[i]`` (and greater than
+    the previous boundary); ``counts[-1]`` is the overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        boundaries = tuple(float(b) for b in buckets)
+        if not boundaries or list(boundaries) != sorted(set(boundaries)):
+            raise ValueError("bucket boundaries must be non-empty, unique and ascending")
+        self.name = name
+        self.buckets = boundaries
+        self.counts = [0] * (len(boundaries) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # boundaries are inclusive upper bounds: bucket i holds values with
+        # buckets[i-1] < value <= buckets[i]
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.6g})"
+
+
+class MetricsRegistry:
+    """Creates and owns metrics; hands out the same object per name.
+
+    A name identifies exactly one metric kind: asking for a counter named
+    like an existing gauge (or a histogram with different boundaries)
+    raises, which keeps exported snapshots unambiguous.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- constructors ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_fresh(name, self._gauges, self._histograms)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_fresh(name, self._counters, self._histograms)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_fresh(name, self._counters, self._gauges)
+            metric = self._histograms[name] = Histogram(name, buckets)
+        elif metric.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{metric.buckets}"
+            )
+        return metric
+
+    def _check_fresh(self, name: str, *other_kinds: dict[str, Any]) -> None:
+        if any(name in kind for kind in other_kinds):
+            raise ValueError(f"metric {name!r} already registered with another kind")
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view of every metric, names sorted."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("x").value == 5
+
+    def test_counters_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3)
+        gauge.set_max(1)
+        assert gauge.value == 3
+        gauge.set_max(9)
+        assert gauge.value == 9
+        gauge.set(2)
+        assert gauge.value == 2
+
+
+class TestHistogram:
+    def test_bucket_assignment_le_semantics(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5, 10.0, 99, 1000):
+            histogram.observe(value)
+        # counts: <=1, <=10, <=100, overflow
+        assert histogram.counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+        assert histogram.sum == pytest.approx(0.5 + 1 + 5 + 10 + 99 + 1000)
+        assert histogram.mean == pytest.approx(histogram.sum / 6)
+
+    def test_boundaries_must_be_ascending_and_unique(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_same_name_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kind_collisions_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_histogram_boundary_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        registry.histogram("h", buckets=(1.0, 2.0))  # identical is fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=DEFAULT_SIZE_BUCKETS)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        assert len(registry) == 3

@@ -241,3 +241,65 @@ class TestShow:
     def test_dot_view(self, clinic_file, capsys):
         main(["show", "--log", clinic_file, "--view", "dot"])
         assert capsys.readouterr().out.startswith("digraph dfg {")
+
+
+class TestObservabilityFlags:
+    def test_query_trace_reconciles_pairs(self, clinic_file, capsys):
+        code = main(["query", "--log", clinic_file,
+                     "--pattern", "GetRefer -> CheckIn", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "evaluate" in out and "⊳" in out
+        [line] = [ln for ln in out.splitlines() if ln.startswith("pairs examined:")]
+        _, _, tail = line.partition(":")
+        traced, counted = tail.split("traced /")
+        assert int(traced.strip()) == int(counted.split()[0])
+
+    def test_query_metrics_emits_valid_document(self, clinic_file, capsys):
+        from repro.obs.export import validate_metrics
+
+        main(["query", "--log", clinic_file, "--pattern", "GetRefer",
+              "--limit", "1", "--metrics"])
+        out = capsys.readouterr().out
+        document = json.loads(out[out.index("metrics:") + len("metrics:"):])
+        validate_metrics(document)
+        assert document["counters"]["engine.evaluations"] == 1
+
+    def test_verbose_flag_enables_repro_logging(self, clinic_file, capsys):
+        import logging
+
+        main(["-v", "query", "--log", clinic_file, "--pattern", "GetRefer",
+              "--mode", "count"])
+        try:
+            assert logging.getLogger("repro").level == logging.INFO
+        finally:
+            for handler in list(logging.getLogger("repro").handlers):
+                if handler.__class__.__name__ != "NullHandler":
+                    logging.getLogger("repro").removeHandler(handler)
+            logging.getLogger("repro").setLevel(logging.NOTSET)
+
+
+class TestProfile:
+    def test_text_report_flags_hottest_node(self, clinic_file, capsys):
+        code = main(["profile", "--log", clinic_file,
+                     "--pattern", "GetRefer -> CheckIn"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hottest" in out
+        assert "pairs" in out and "pred.pairs" in out
+
+    def test_json_report_validates_against_schema(self, clinic_file, capsys):
+        from repro.obs.export import validate_profile
+
+        main(["profile", "--log", clinic_file,
+              "--pattern", "GetRefer -> CheckIn", "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        validate_profile(document)
+        assert document["schema"] == "repro.obs.profile/v1"
+        assert document["totals"]["pairs_examined"] > 0
+
+    def test_profile_respects_engine_choice(self, clinic_file, capsys):
+        main(["profile", "--log", clinic_file, "--pattern", "GetRefer",
+              "--engine", "naive", "--format", "json"])
+        assert json.loads(capsys.readouterr().out)["engine"] == "naive"
