@@ -14,7 +14,13 @@ Subcommands
   evaluator, printing each alert at the record that completes it;
 * ``profile``   — evaluate a pattern with tracing enabled and print a
   per-node cost breakdown (predicted vs. actual pairs, hottest node);
+* ``batch``     — evaluate several patterns in one shared-scan pass,
+  deduplicating common subpatterns across the queries;
 * ``convert``   — transcode between jsonl / csv / xes.
+
+``query``, ``profile`` and ``batch`` accept ``--jobs N`` to evaluate over
+wid-disjoint shards on a process pool (see ``docs/PARALLELISM.md``);
+results are identical to serial evaluation.
 
 Log formats are inferred from file extensions (``.jsonl``, ``.csv``,
 ``.xes``/``.xml``); ``-`` reads from stdin / writes to stdout as JSONL.
@@ -159,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine metrics snapshot (JSON) after the results",
     )
+    query.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="evaluate wid-disjoint shards on this many parallel workers",
+    )
+    query.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="parallel execution backend (implies --jobs; default auto)",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -180,6 +198,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="profile a sharded process-pool evaluation with this many workers",
+    )
+
+    batch = commands.add_parser(
+        "batch",
+        help="evaluate several patterns in one shared-scan pass",
+    )
+    batch.add_argument("--log", required=True, help="log file (.jsonl/.csv/.xes)")
+    batch.add_argument(
+        "patterns",
+        nargs="*",
+        metavar="PATTERN",
+        help='patterns, e.g. "A -> B" "A -> B -> C"',
+    )
+    batch.add_argument(
+        "--queries",
+        metavar="FILE",
+        default=None,
+        help="file with one pattern per line (# comments allowed; - for stdin)",
+    )
+    batch.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="skip rule-based canonicalisation (reduces subpattern sharing)",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the log over this many parallel workers",
+    )
+    batch.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="process",
+        help="backend used when --jobs > 1",
+    )
+    batch.add_argument(
+        "--max-incidents",
+        type=int,
+        default=None,
+        help="abort if an incident set exceeds this size",
     )
 
     lint = commands.add_parser(
@@ -300,6 +365,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         max_incidents=args.max_incidents,
         tracer=tracer,
         metrics=registry,
+        jobs=args.jobs,
+        parallel=args.backend,
     )
     if args.explain:
         print(query.explain(log))
@@ -351,11 +418,57 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         engine=args.engine,
         optimize=not args.no_optimize,
         max_incidents=args.max_incidents,
+        jobs=args.jobs,
     )
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, ensure_ascii=False))
     else:
         print(report.format())
+        if report.extra:
+            print(
+                f"parallel: {report.extra['jobs']} worker(s), "
+                f"{report.extra['shards']} shard(s), "
+                f"backend={report.extra['backend']}"
+            )
+    return 0
+
+
+def _read_query_file(path: str) -> list[str]:
+    """Patterns from a query file: one per line, ``#`` comments, blank
+    lines ignored."""
+    text = sys.stdin.read() if path == "-" else Path(path).read_text("utf-8")
+    patterns = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            patterns.append(line)
+    return patterns
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.exec.batch import evaluate_batch
+
+    patterns = list(args.patterns)
+    if args.queries:
+        patterns.extend(_read_query_file(args.queries))
+    if not patterns:
+        raise ReproError("no patterns given (positional or --queries FILE)")
+    log = _load_log(args.log)
+    result = evaluate_batch(
+        log,
+        patterns,
+        optimize=not args.no_optimize,
+        jobs=args.jobs,
+        backend=args.backend,
+        max_incidents=args.max_incidents,
+    )
+    for text, incidents in zip(patterns, result.results):
+        print(f"{len(incidents):6d}  {text}")
+    print(
+        f"--- {len(patterns)} query(ies), {result.stats.pairs_examined} pairs "
+        f"examined, {result.shared_hits} shared subpattern hit(s), "
+        f"backend={result.backend}, jobs={result.jobs} ---"
+    )
     return 0
 
 
@@ -464,6 +577,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "query": _cmd_query,
     "profile": _cmd_profile,
+    "batch": _cmd_batch,
     "lint": _cmd_lint,
     "stats": _cmd_stats,
     "validate": _cmd_validate,

@@ -78,6 +78,22 @@ class EvaluationStats:
         if size > self.max_live_incidents:
             self.max_live_incidents = size
 
+    def merge(self, other: "EvaluationStats") -> None:
+        """Fold another evaluation's counters into this one.
+
+        Counts add; ``max_live_incidents`` takes the maximum (each shard
+        materialises its sets independently, so the peak is the largest
+        per-shard peak).  Used by :mod:`repro.exec` to combine per-shard
+        statistics into one whole-log ``EvaluationStats``.
+        """
+        self.operator_evals += other.operator_evals
+        self.pairs_examined += other.pairs_examined
+        self.incidents_produced += other.incidents_produced
+        if other.max_live_incidents > self.max_live_incidents:
+            self.max_live_incidents = other.max_live_incidents
+        for symbol, count in other.per_operator.items():
+            self.per_operator[symbol] = self.per_operator.get(symbol, 0) + count
+
     def publish(self) -> None:
         """Flush the whole-evaluation totals into the bound registry.
 

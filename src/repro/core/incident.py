@@ -63,7 +63,7 @@ class Incident:
     (2, 3, 1)
     """
 
-    __slots__ = ("_records", "_key", "first", "last", "wid")
+    __slots__ = ("_records", "_key", "_sort_key", "first", "last", "wid")
 
     def __init__(self, records: Iterable[LogRecord]):
         recs = sorted(records, key=lambda r: r.is_lsn)
@@ -81,6 +81,12 @@ class Incident:
         self.first: int = recs[0].is_lsn
         self.last: int = recs[-1].is_lsn
         self.wid: int = wid
+        self._sort_key: tuple = (
+            wid,
+            self.first,
+            self.last,
+            tuple(sorted(self._key)),
+        )
 
     # -- set-like behaviour ---------------------------------------------
 
@@ -124,17 +130,26 @@ class Incident:
             return NotImplemented
         return self._key == other._key
 
+    @property
+    def sort_key(self) -> tuple:
+        """The canonical ordering key: ``(wid, first, last, sorted lsns)``.
+
+        This total order is *the* canonical order of ``incL(p)`` results:
+        by workflow instance, then by start position, then by end position,
+        with the sorted record-lsn tuple as the deterministic tiebreak for
+        incidents spanning the same positions.  Every engine yields its
+        final incident set in this order (via :class:`IncidentSet`), which
+        is what lets :mod:`repro.exec` assert that a parallel merge is
+        byte-for-byte identical to a serial evaluation.
+        """
+        return self._sort_key
+
     def __lt__(self, other: "Incident") -> bool:
-        """Incidents sort by (wid, first, last, key) — the ordering the
-        evaluation algorithms rely on."""
+        """Incidents sort by :attr:`sort_key` — the canonical order all
+        engines and the parallel executor agree on."""
         if not isinstance(other, Incident):
             return NotImplemented
-        return (self.wid, self.first, self.last, sorted(self._key)) < (
-            other.wid,
-            other.first,
-            other.last,
-            sorted(other._key),
-        )
+        return self._sort_key < other._sort_key
 
     def __hash__(self) -> int:
         return hash(self._key)
@@ -152,8 +167,11 @@ class IncidentSet:
     """The incident set ``incL(p)`` of a pattern ``p`` on a log ``L``.
 
     Behaves as an immutable set of :class:`Incident` with convenience
-    accessors; iteration is in sorted ``(wid, first, last)`` order, the
-    ordering the paper's operator-evaluation algorithms assume.
+    accessors.  Iteration is in the *canonical incident order* — ascending
+    ``Incident.sort_key``, i.e. ``(wid, first, last, sorted lsns)`` — which
+    every engine produces and which makes results reproducible across
+    serial, sharded and parallel evaluation: two equal incident sets
+    iterate in exactly the same order, element for element.
     """
 
     __slots__ = ("_incidents",)

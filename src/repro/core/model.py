@@ -433,6 +433,21 @@ class Log:
         recs = self.instance(wid_value)
         return bool(recs) and recs[-1].is_end
 
+    def project(self, wids: Iterable[int]) -> "Log":
+        """A wid-projection: only the given instances, with the *original*
+        ``lsn`` values preserved.
+
+        The result is not validated (condition 1 of Definition 2 requires
+        contiguous lsn values, which a projection deliberately breaks) and
+        the record objects are shared, not copied.  Because incidents are
+        identified by their record-lsn sets (Definition 4), a pattern's
+        incident set over a projection equals the same-wid slice of its
+        incident set over the whole log — the property :mod:`repro.exec`
+        sharding relies on.
+        """
+        keep = set(wids)
+        return Log((r for r in self._records if r.wid in keep), validate=False)
+
     def restrict_to(self, wids: Iterable[int]) -> "Log":
         """A new log containing only the given instances, with lsn values
         compacted to remain well-formed (Definition 2 condition 1)."""

@@ -80,6 +80,17 @@ class Query:
         Optional observability hooks forwarded to the engine when it is
         constructed here (ignored when an engine *instance* is passed —
         configure that engine directly).  See :mod:`repro.obs`.
+    jobs:
+        Worker count for parallel evaluation.  Setting it routes
+        :meth:`run` and :meth:`count` through the sharded
+        :class:`~repro.exec.parallel.ParallelExecutor`; results are
+        byte-for-byte identical to serial evaluation (see
+        ``docs/PARALLELISM.md``).
+    parallel:
+        Execution backend for the parallel path: ``"auto"`` (default when
+        only ``jobs`` is given — a cost model keeps cheap queries
+        serial), ``"serial"``, ``"thread"`` or ``"process"``.  Setting it
+        without ``jobs`` uses one worker per CPU.
     """
 
     def __init__(
@@ -91,6 +102,8 @@ class Query:
         max_incidents: int | None = None,
         tracer=None,
         metrics=None,
+        jobs: int | None = None,
+        parallel: str | None = None,
     ):
         if isinstance(pattern, str):
             pattern = parse(pattern)
@@ -99,6 +112,10 @@ class Query:
         self.pattern = pattern
         self.engine = _resolve_engine(engine, max_incidents, tracer, metrics)
         self.optimize = optimize
+        self.jobs = jobs
+        self.parallel = parallel
+        self._tracer = tracer
+        self._metrics = metrics
         self._last_plan: OptimizedPlan | None = None
 
     # -- execution -------------------------------------------------------
@@ -118,21 +135,68 @@ class Query:
         self._last_plan = plan
         return plan
 
+    @property
+    def is_parallel(self) -> bool:
+        """Whether :meth:`run`/:meth:`count` go through the sharded
+        parallel executor."""
+        return self.jobs is not None or self.parallel is not None
+
+    def _executor(self):
+        """Build the parallel executor for this query's configuration
+        (imported lazily — :mod:`repro.exec` is optional machinery)."""
+        from repro.exec.parallel import ParallelExecutor
+
+        tracer = self._tracer
+        if tracer is None and getattr(self.engine.tracer, "enabled", False):
+            tracer = self.engine.tracer
+        return ParallelExecutor(
+            jobs=self.jobs,
+            backend=self.parallel if self.parallel is not None else "auto",
+            engine=self.engine,
+            tracer=tracer,
+            metrics=self._metrics,
+        )
+
     def run(self, log: Log) -> IncidentSet:
         """Evaluate the query, returning the full incident set."""
-        return self.engine.evaluate(log, self.plan(log).optimized)
+        optimized = self.plan(log).optimized
+        if self.is_parallel:
+            result = self._executor().evaluate(log, optimized)
+            self.engine.last_stats = result.stats
+            assert result.incidents is not None
+            return result.incidents
+        return self.engine.evaluate(log, optimized)
 
     def exists(self, log: Log) -> bool:
         """Whether at least one incident exists (short-circuits when the
-        engine supports it)."""
+        engine supports it).  Always serial: the greedy short-circuit
+        scan typically finishes before a worker pool even starts."""
         return self.engine.exists(log, self.plan(log).optimized)
 
     def count(self, log: Log) -> int:
         """Number of incidents in ``log``.
 
         Delegates to the engine, which may use the output-free counting
-        DP for ⊙/⊳ chains instead of materialising the incident set."""
-        return self.engine.count(log, self.plan(log).optimized)
+        DP for ⊙/⊳ chains instead of materialising the incident set.
+        With ``jobs``/``parallel`` set, per-shard counts are summed."""
+        optimized = self.plan(log).optimized
+        if self.is_parallel:
+            return self._executor().count(log, optimized)
+        return self.engine.count(log, optimized)
+
+    @staticmethod
+    def evaluate_batch(log: Log, patterns, **kwargs):
+        """Evaluate many queries over one log with shared subpattern
+        scans — see :func:`repro.exec.batch.evaluate_batch`, of which
+        this is a convenience re-export.
+
+        >>> # doctest: +SKIP
+        >>> batch = Query.evaluate_batch(log, ["A -> B", "A -> B -> C"])
+        >>> batch.results[0]                    # incidents of "A -> B"
+        """
+        from repro.exec.batch import evaluate_batch
+
+        return evaluate_batch(log, patterns, **kwargs)
 
     def matching_instances(self, log: Log) -> tuple[int, ...]:
         """The workflow instance ids containing at least one incident."""

@@ -1,0 +1,133 @@
+"""Execution backends for shard fan-out.
+
+A backend maps one picklable task function over a list of tasks and
+returns the results *in task order*.  Three implementations:
+
+* :class:`SerialBackend` — a plain loop in the calling process; the
+  reference the parallel ones are asserted byte-for-byte equal to.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``.  Useful when the
+  per-shard work releases the GIL (I/O, future native kernels); for the
+  pure-Python joins it mostly measures dispatch overhead, which is why
+  the auto-dispatcher (:class:`~repro.core.optimizer.cost.DispatchCostModel`)
+  never picks it for CPU-bound plans.
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor``; tasks and results
+  cross process boundaries by pickling, so everything they carry must be
+  picklable (asserted by ``tests/exec/test_pickling.py``).
+
+Backends are context managers; pools are created on entry and torn down
+on exit, so a short query does not leak worker processes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Backend(ABC):
+    """Maps a task function over tasks, preserving order."""
+
+    name = "abstract"
+
+    #: Workers the backend will actually use (1 for serial).
+    jobs: int = 1
+
+    @abstractmethod
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every task; results are returned in task order
+        and the first raised exception propagates to the caller."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialBackend(Backend):
+    """In-process loop — no pool, no pickling, no concurrency."""
+
+    name = "serial"
+
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return [fn(task) for task in tasks]
+
+
+class _PoolBackend(Backend):
+    """Shared plumbing for the ``concurrent.futures`` pools."""
+
+    _executor_cls: type[Executor]
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._executor: Executor | None = None
+
+    def __enter__(self) -> "Backend":
+        self._executor = self._executor_cls(max_workers=self.jobs)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        if self._executor is None:
+            # usable without the context-manager form, at the cost of a
+            # fresh pool per call
+            with self._executor_cls(max_workers=self.jobs) as executor:
+                return list(executor.map(fn, tasks))
+        return list(self._executor.map(fn, tasks))
+
+
+class ThreadBackend(_PoolBackend):
+    """``ThreadPoolExecutor`` fan-out (shared memory, GIL-bound)."""
+
+    name = "thread"
+    _executor_cls = ThreadPoolExecutor
+
+
+class ProcessBackend(_PoolBackend):
+    """``ProcessPoolExecutor`` fan-out (true CPU parallelism)."""
+
+    name = "process"
+    _executor_cls = ProcessPoolExecutor
+
+
+#: Registry of backend constructors, keyed by backend name.
+BACKENDS: dict[str, Callable[[int], Backend]] = {
+    "serial": lambda jobs: SerialBackend(),
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(name: str, jobs: int) -> Backend:
+    """Instantiate a backend by name (``serial``/``thread``/``process``)."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return factory(jobs)

@@ -1,0 +1,228 @@
+"""Shared-scan evaluation of multiple queries in one pass.
+
+Workloads that monitor a log usually run *families* of related queries —
+the same clinical pathway with different suffixes, the same prefix with
+different windows.  Evaluating them independently recomputes every
+shared subpattern once per query.  :func:`evaluate_batch` instead:
+
+1. canonicalises every pattern with the optimizer's rule-based
+   :func:`~repro.core.optimizer.rules.normalize` (associativity and
+   commutativity rewrites bring structurally equal subpatterns to one
+   canonical shape, maximising cross-query sharing);
+2. evaluates all patterns with one :class:`SharedScanEngine` per shard —
+   an :class:`~repro.core.eval.indexed.IndexedEngine` whose per-``(wid,
+   subpattern)`` incident lists are memoised, so a subpattern shared by
+   several queries (or appearing twice in one) is scanned and joined
+   exactly once;
+3. optionally fans the shared scan out over wid-disjoint shards
+   (``jobs``/``backend``, same machinery as
+   :class:`~repro.exec.parallel.ParallelExecutor`).
+
+The observable guarantee, asserted in ``tests/exec/test_batch.py``: the
+per-query incident sets equal independent evaluation byte for byte,
+while ``stats.pairs_examined`` is *strictly smaller* whenever any
+subpattern is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.eval.base import EvaluationStats
+from repro.core.eval.indexed import IndexedEngine
+from repro.core.incident import Incident, IncidentSet
+from repro.core.model import Log
+from repro.core.optimizer.rules import normalize
+from repro.core.parser import parse
+from repro.core.pattern import Pattern
+from repro.exec.backends import make_backend
+from repro.exec.shard import plan_shards
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["SharedScanEngine", "BatchResult", "evaluate_batch"]
+
+
+class SharedScanEngine(IndexedEngine):
+    """Indexed engine with cross-evaluation node memoisation.
+
+    Incident lists are cached per ``(wid, subpattern)``; patterns are
+    frozen dataclasses, so structurally equal subpatterns — within one
+    pattern or across successive :meth:`evaluate` calls on the same log —
+    hit the same entry.  ``shared_hits`` counts the node evaluations the
+    cache elided; every hit skips its subtree's scans and joins entirely,
+    which is where the batch pairs saving comes from.
+
+    The cache keys contain no log identity: one engine instance must only
+    ever be used against one log.  :func:`evaluate_batch` creates a fresh
+    engine per shard, which enforces this.
+    """
+
+    name = "shared-scan"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._cache: dict[tuple[int, Pattern], list[Incident]] = {}
+        self.shared_hits = 0
+
+    def _eval_node(self, log, wid, pattern, stats, key="root"):
+        cache_key = (wid, pattern)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            self.shared_hits += 1
+            return cached
+        result = super()._eval_node(log, wid, pattern, stats, key)
+        self._cache[cache_key] = result
+        return result
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch evaluation.
+
+    ``results[i]`` is the incident set of ``patterns[i]`` (input order);
+    ``stats`` aggregates the work over all queries and shards;
+    ``shared_hits`` counts node evaluations elided by subpattern sharing.
+    """
+
+    patterns: tuple[Pattern, ...]
+    results: tuple[IncidentSet, ...]
+    stats: EvaluationStats
+    shared_hits: int
+    backend: str
+    jobs: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult({len(self.results)} query(ies), "
+            f"{self.shared_hits} shared hit(s), backend={self.backend})"
+        )
+
+
+@dataclass(frozen=True)
+class _BatchShardTask:
+    """Picklable work unit: all patterns over one shard."""
+
+    shard_index: int
+    log: Log
+    patterns: tuple[Pattern, ...]
+    max_incidents: int | None = None
+
+
+@dataclass(frozen=True)
+class _BatchShardOutcome:
+    shard_index: int
+    per_query: tuple[tuple[Incident, ...], ...]
+    stats: EvaluationStats
+    shared_hits: int
+
+
+def evaluate_batch_shard(task: _BatchShardTask) -> _BatchShardOutcome:
+    """Shared-scan all patterns over one shard (module-level for pickling)."""
+    engine = SharedScanEngine(max_incidents=task.max_incidents)
+    per_query: list[tuple[Incident, ...]] = []
+    stats = EvaluationStats()
+    for pattern in task.patterns:
+        per_query.append(tuple(engine.evaluate(task.log, pattern)))
+        if engine.last_stats is not None:
+            stats.merge(engine.last_stats)
+    return _BatchShardOutcome(
+        shard_index=task.shard_index,
+        per_query=tuple(per_query),
+        stats=stats,
+        shared_hits=engine.shared_hits,
+    )
+
+
+def evaluate_batch(
+    log: Log,
+    patterns,
+    *,
+    optimize: bool = True,
+    jobs: int = 1,
+    backend: str = "serial",
+    strategy: str = "hash",
+    max_incidents: int | None = None,
+    tracer: Tracer | NullTracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> BatchResult:
+    """Evaluate N queries over one log with shared subpattern scans.
+
+    Parameters
+    ----------
+    patterns:
+        Patterns or query-text strings (mixed freely).
+    optimize:
+        Apply rule-based canonicalisation before evaluation (default).
+        Unlike the per-query cost-based optimizer, normalisation never
+        trades sharing away: equal subpatterns stay equal.
+    jobs / backend / strategy:
+        Parallel fan-out controls; the default is a single-shard serial
+        shared scan.  With ``jobs > 1`` and a pool backend, each shard
+        runs its own shared scan and per-query results merge across
+        shards in the canonical incident order.
+    """
+    resolved: list[Pattern] = []
+    for pattern in patterns:
+        if isinstance(pattern, str):
+            pattern = parse(pattern)
+        if optimize:
+            pattern, _ = normalize(pattern)
+        resolved.append(pattern)
+    if not resolved:
+        raise ValueError("evaluate_batch needs at least one pattern")
+
+    backend_name = "serial" if jobs <= 1 else backend
+    n_shards = 1 if backend_name == "serial" else max(1, jobs * 2)
+    if len(log) == 0 or n_shards == 1:
+        shard_logs = [log]
+    else:
+        shard_logs = [shard.log for shard in plan_shards(log, n_shards, strategy=strategy)]
+
+    tasks = [
+        _BatchShardTask(
+            shard_index=index,
+            log=shard_log,
+            patterns=tuple(resolved),
+            max_incidents=max_incidents,
+        )
+        for index, shard_log in enumerate(shard_logs)
+    ]
+
+    trc = tracer if tracer is not None else NULL_TRACER
+    with trc.span("batch", key=()) as span:
+        with make_backend(backend_name, jobs) as runner:
+            outcomes = runner.run(evaluate_batch_shard, tasks)
+
+    merged_stats = EvaluationStats(registry=metrics)
+    shared_hits = 0
+    per_query: list[list[Incident]] = [[] for _ in resolved]
+    for outcome in outcomes:
+        merged_stats.merge(outcome.stats)
+        shared_hits += outcome.shared_hits
+        for index, incidents in enumerate(outcome.per_query):
+            per_query[index].extend(incidents)
+    merged_stats.publish()
+    if metrics is not None:
+        metrics.counter("exec.batch_shared_hits").inc(shared_hits)
+    span.add(
+        queries=len(resolved),
+        shards=len(tasks),
+        shared_hits=shared_hits,
+        pairs=merged_stats.pairs_examined,
+    )
+
+    return BatchResult(
+        patterns=tuple(resolved),
+        results=tuple(IncidentSet(incidents) for incidents in per_query),
+        stats=merged_stats,
+        shared_hits=shared_hits,
+        backend=backend_name,
+        jobs=jobs,
+    )

@@ -1,0 +1,213 @@
+"""Wid-disjoint sharding of workflow logs.
+
+Definition 4 makes every incident local to a single workflow instance:
+all records of an incident share one ``wid``, and every operator joins
+incidents only within a ``wid``.  Consequently, for any partition of a
+log's instances into disjoint wid sets ``W1 ∪ … ∪ Wn``::
+
+    incL(p)  =  inc(L|W1)(p)  ∪  …  ∪  inc(L|Wn)(p)
+
+where ``L|Wi`` is the wid-projection of ``L`` (original ``lsn`` values
+preserved, see :meth:`repro.core.model.Log.project`).  Sharding is
+therefore *lossless*: evaluating each shard independently and taking the
+union reproduces the whole-log incident set exactly — the property the
+parallel executor (:mod:`repro.exec.parallel`) builds on and the test
+suite asserts over random logs and patterns.
+
+Two partitioning strategies are provided:
+
+* ``"hash"`` — each wid is scrambled through a fixed 64-bit mix (a
+  splitmix64 round, deterministic across processes and runs, unlike
+  Python's randomised string hashing) and assigned to ``mix(wid) % n``.
+  Spreads hot instances uniformly regardless of arrival order.
+* ``"range"`` — wids are sorted and cut into contiguous runs, greedily
+  balanced so each shard carries roughly ``total_records / n`` records
+  (sizes come from :class:`~repro.core.model.Log` instance lengths or
+  :meth:`repro.logstore.store.LogStore.wid_record_counts`).  Preserves
+  locality of consecutive instances, which matters once shards map onto
+  range-partitioned storage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.core.model import Log, LogRecord
+from repro.logstore.store import LogStore
+
+__all__ = ["Shard", "ShardPlan", "SHARD_STRATEGIES", "assign_wids", "plan_shards"]
+
+#: Supported partitioning strategies.
+SHARD_STRATEGIES: tuple[str, ...] = ("hash", "range")
+
+
+def _mix64(value: int) -> int:
+    """One splitmix64 finalisation round: a deterministic, well-spread
+    64-bit scramble (Python's ``hash`` on small ints is the identity,
+    which would turn ``% n`` into plain round-robin on dense wids)."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One wid-disjoint partition of a log.
+
+    Attributes
+    ----------
+    index:
+        Position of the shard within its plan (``0 .. n-1``).
+    wids:
+        The workflow instances assigned to this shard, sorted.
+    log:
+        The wid-projection holding exactly those instances' records, with
+        original ``lsn`` values (record objects are shared with the
+        source, never copied).
+    """
+
+    index: int
+    wids: tuple[int, ...]
+    log: Log
+
+    @property
+    def record_count(self) -> int:
+        return len(self.log)
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard({self.index}, {len(self.wids)} instance(s), "
+            f"{self.record_count} record(s))"
+        )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete, lossless partition of one log into shards."""
+
+    strategy: str
+    shards: tuple[Shard, ...]
+    total_records: int
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def verify_lossless(self) -> None:
+        """Assert the wid-partition invariants: shards are pairwise
+        disjoint and jointly cover every record of the source log."""
+        seen: set[int] = set()
+        records = 0
+        for shard in self.shards:
+            overlap = seen.intersection(shard.wids)
+            if overlap:
+                raise ReproError(
+                    f"shard plan is not wid-disjoint: {sorted(overlap)} "
+                    f"appear in more than one shard"
+                )
+            seen.update(shard.wids)
+            records += shard.record_count
+        if records != self.total_records:
+            raise ReproError(
+                f"shard plan drops records: {records} sharded vs "
+                f"{self.total_records} in the source log"
+            )
+
+    def skew(self) -> float:
+        """Largest shard record count over the balanced ideal (1.0 is a
+        perfect split; the planner keeps this low, the tests bound it)."""
+        if not self.shards or self.total_records == 0:
+            return 1.0
+        ideal = self.total_records / len(self.shards)
+        return max(s.record_count for s in self.shards) / max(ideal, 1.0)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(s.record_count) for s in self.shards)
+        return f"ShardPlan({self.strategy}, {len(self.shards)} shard(s): [{sizes}])"
+
+
+def assign_wids(
+    wid_sizes: Mapping[int, int], n_shards: int, strategy: str = "hash"
+) -> list[tuple[int, ...]]:
+    """Partition wids into at most ``n_shards`` disjoint groups.
+
+    ``wid_sizes`` maps each wid to its record count (the balancing
+    weight).  Returns the non-empty groups, each sorted; group order is
+    deterministic for a given input.
+    """
+    if n_shards < 1:
+        raise ReproError(f"shard count must be >= 1, got {n_shards}")
+    if strategy not in SHARD_STRATEGIES:
+        raise ReproError(
+            f"unknown shard strategy {strategy!r}; available: {SHARD_STRATEGIES}"
+        )
+    wids = sorted(wid_sizes)
+    n_shards = min(n_shards, len(wids)) or 1
+    groups: list[list[int]] = [[] for _ in range(n_shards)]
+    if strategy == "hash":
+        for wid in wids:
+            groups[_mix64(wid) % n_shards].append(wid)
+    else:  # contiguous ranges, greedily balanced on record counts
+        total = sum(wid_sizes[w] for w in wids)
+        target = total / n_shards
+        current = 0
+        shard_index = 0
+        for position, wid in enumerate(wids):
+            remaining_wids = len(wids) - position
+            remaining_shards = n_shards - shard_index
+            # never let trailing shards starve: leave one wid per shard
+            must_advance = remaining_wids == remaining_shards
+            over_target = current >= target and groups[shard_index]
+            if (must_advance or over_target) and shard_index < n_shards - 1:
+                if groups[shard_index]:
+                    shard_index += 1
+                    current = 0
+            groups[shard_index].append(wid)
+            current += wid_sizes[wid]
+    return [tuple(group) for group in groups if group]
+
+
+def _wid_sizes(source: Log | LogStore) -> dict[int, int]:
+    if isinstance(source, LogStore):
+        return source.wid_record_counts()
+    return {wid: len(source.instance(wid)) for wid in source.wids}
+
+
+def plan_shards(
+    source: Log | LogStore, n_shards: int, *, strategy: str = "hash"
+) -> ShardPlan:
+    """Partition ``source`` into up to ``n_shards`` wid-disjoint shards.
+
+    Accepts a read-only :class:`~repro.core.model.Log` or a live
+    :class:`~repro.logstore.store.LogStore` (sharded directly from its
+    append buffer, without a full validated snapshot).  Shards that would
+    be empty (more shards than instances) are dropped, so the returned
+    plan may hold fewer than ``n_shards`` shards; it always covers every
+    record exactly once (:meth:`ShardPlan.verify_lossless`).
+    """
+    sizes = _wid_sizes(source)
+    if not sizes:
+        raise ReproError("cannot shard an empty log")
+    groups = assign_wids(sizes, n_shards, strategy)
+
+    # one pass over the records, routing each to its shard
+    shard_of: dict[int, int] = {}
+    for index, group in enumerate(groups):
+        for wid in group:
+            shard_of[wid] = index
+    buckets: list[list[LogRecord]] = [[] for _ in groups]
+    records: Iterable[LogRecord] = source
+    total = 0
+    for record in records:
+        buckets[shard_of[record.wid]].append(record)
+        total += 1
+    shards = tuple(
+        Shard(index=i, wids=groups[i], log=Log(buckets[i], validate=False))
+        for i in range(len(groups))
+    )
+    return ShardPlan(strategy=strategy, shards=shards, total_records=total)

@@ -1,0 +1,140 @@
+"""Picklable per-shard evaluation entry points.
+
+The process backend ships work to pool workers by pickling; everything
+here is therefore module-level and built from picklable pieces only
+(frozen dataclasses, :class:`~repro.core.model.Log`, patterns).  Workers
+run without a metrics registry — counters cross back inside the returned
+:class:`~repro.core.eval.base.EvaluationStats` and are published once by
+the caller — and with a private :class:`~repro.obs.tracer.Tracer` when
+tracing is requested, whose root span rides home in the outcome for
+:func:`~repro.obs.tracer.merge_span_trees`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+from repro.core.eval.base import Engine, EvaluationStats
+from repro.core.incident import Incident
+from repro.core.model import Log
+from repro.core.pattern import Pattern
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["EngineConfig", "ShardTask", "ShardOutcome", "evaluate_shard"]
+
+#: Engine names accepted by :class:`EngineConfig`, beyond the ``ENGINES``
+#: registry: the incremental evaluator is not a batch ``Engine`` subclass
+#: but replays a shard through its streaming path.
+INCREMENTAL = "incremental"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """A picklable recipe for one evaluation engine.
+
+    Engine *instances* hold tracers and metrics registries that must not
+    cross process boundaries, so workers receive this recipe and build a
+    fresh engine locally.
+    """
+
+    name: str = "indexed"
+    max_incidents: int | None = None
+
+    def build(self, *, tracer: Tracer | None = None) -> Engine:
+        from repro.core.query import ENGINES
+
+        try:
+            cls = ENGINES[self.name]
+        except KeyError:
+            raise ReproError(
+                f"unknown engine {self.name!r}; available: "
+                f"{sorted(ENGINES) + [INCREMENTAL]}"
+            ) from None
+        return cls(max_incidents=self.max_incidents, tracer=tracer)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of work: evaluate ``pattern`` over one shard's log.
+
+    ``mode`` selects what the worker computes:
+
+    * ``"evaluate"`` — the full incident list (canonically sorted);
+    * ``"count"`` — only the incident count (engines use the counting DP
+      where it applies, so no incident crosses back).
+    """
+
+    shard_index: int
+    log: Log
+    pattern: Pattern
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    mode: str = "evaluate"
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one worker sends back for one shard."""
+
+    shard_index: int
+    incidents: tuple[Incident, ...]
+    count: int
+    stats: EvaluationStats
+    span: Span | None = None
+
+
+def evaluate_shard(task: ShardTask) -> ShardOutcome:
+    """Evaluate one shard; the module-level function handed to backends.
+
+    Runs in the worker process (or inline, for the serial and thread
+    backends).  The shard log has original ``lsn`` values, so the
+    returned incidents are identical — same identity keys, same canonical
+    sort position — to the ones a whole-log evaluation produces for the
+    shard's wids.
+    """
+    tracer = Tracer() if task.trace else None
+    if task.engine.name == INCREMENTAL:
+        return _evaluate_incremental(task, tracer)
+    engine = task.engine.build(tracer=tracer)
+    if task.mode == "count":
+        count = engine.count(task.log, task.pattern)
+        incidents: tuple[Incident, ...] = ()
+    elif task.mode == "evaluate":
+        incidents = tuple(engine.evaluate(task.log, task.pattern))
+        count = len(incidents)
+    else:
+        raise ReproError(f"unknown shard mode {task.mode!r}")
+    stats = engine.last_stats or EvaluationStats()
+    return ShardOutcome(
+        shard_index=task.shard_index,
+        incidents=incidents,
+        count=count,
+        stats=stats,
+        span=tracer.last_root if tracer is not None else None,
+    )
+
+
+def _evaluate_incremental(task: ShardTask, tracer: Tracer | None) -> ShardOutcome:
+    """Replay the shard through the streaming evaluator.
+
+    Shard logs keep whole instances in original order, so the stream
+    invariants (ascending ``lsn``, per-instance consecutive ``is_lsn``)
+    hold and the accumulated state equals the batch ``incL``.
+    """
+    from repro.core.eval.incremental import IncrementalEvaluator
+
+    evaluator = IncrementalEvaluator(
+        task.pattern,
+        task.log,
+        max_incidents=task.engine.max_incidents,
+        tracer=tracer,
+    )
+    incidents = tuple(evaluator.incidents())
+    return ShardOutcome(
+        shard_index=task.shard_index,
+        incidents=() if task.mode == "count" else incidents,
+        count=len(incidents),
+        stats=evaluator.stats,
+        span=tracer.last_root if tracer is not None else None,
+    )

@@ -20,7 +20,7 @@ Example
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.core.errors import LogStoreError
 from repro.core.model import END, START, AttrMap, Log, LogRecord
@@ -163,6 +163,33 @@ class LogStore:
             len(self._next_is_lsn),
         )
         return Log(self._records)
+
+    def wid_record_counts(self) -> dict[int, int]:
+        """Per-instance record counts, in one pass over the store.
+
+        This is the size statistic the :mod:`repro.exec` shard planner
+        balances on; it deliberately avoids building a full
+        :meth:`snapshot` first.
+        """
+        counts: dict[int, int] = {}
+        for record in self._records:
+            counts[record.wid] = counts.get(record.wid, 0) + 1
+        return counts
+
+    def extract(self, wids: Iterable[int]) -> Log:
+        """A wid-projection of the store's current contents.
+
+        Unlike :meth:`snapshot`, this never materialises (or validates)
+        the whole log: records of other instances are filtered out in one
+        pass and the kept record objects are shared, not copied.  The
+        original ``lsn`` values are preserved, so incident identities in
+        the extracted log match those in the full snapshot (see
+        :meth:`repro.core.model.Log.project`).
+        """
+        keep = set(wids)
+        return Log(
+            (r for r in self._records if r.wid in keep), validate=False
+        )
 
     @classmethod
     def from_log(cls, log: Log) -> "LogStore":

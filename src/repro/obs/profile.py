@@ -239,6 +239,7 @@ def profile_query(
     engine: str = "indexed",
     optimize: bool = True,
     max_incidents: int | None = None,
+    jobs: int | None = None,
 ) -> ProfileReport:
     """Evaluate ``pattern`` over ``log`` with full instrumentation.
 
@@ -246,6 +247,11 @@ def profile_query(
     engine, and reconciles the span tree with the cost model.  The
     returned report's ``stats``, ``trace`` and ``registry`` carry the raw
     artefacts; ``format()`` / ``to_dict()`` are the CLI surfaces.
+
+    With ``jobs > 1`` the evaluation runs sharded over a process pool
+    (:class:`~repro.exec.parallel.ParallelExecutor`); the per-shard span
+    trees merge into one tree of the usual serial shape, so the per-node
+    breakdown aggregates work across all workers.
     """
     if isinstance(pattern, str):
         pattern = parse(pattern)
@@ -256,15 +262,37 @@ def profile_query(
         evaluated, transformations = pattern, ["optimization disabled"]
     tracer = Tracer()
     registry = MetricsRegistry()
-    engine_obj = ENGINES[engine](
-        max_incidents=max_incidents, tracer=tracer, metrics=registry
-    )
-    result = engine_obj.evaluate(log, evaluated)
+    extra: dict = {}
+    if jobs is not None and jobs > 1:
+        from repro.exec.parallel import ParallelExecutor
+        from repro.exec.worker import EngineConfig
+
+        executor = ParallelExecutor(
+            jobs=jobs,
+            backend="process",
+            engine=EngineConfig(name=engine, max_incidents=max_incidents),
+            tracer=tracer,
+            metrics=registry,
+        )
+        parallel_result = executor.evaluate(log, evaluated)
+        assert parallel_result.incidents is not None
+        incidents = len(parallel_result.incidents)
+        stats = parallel_result.stats
+        extra = {
+            "jobs": jobs,
+            "backend": parallel_result.backend,
+            "shards": len(parallel_result.plan),
+        }
+    else:
+        engine_obj = ENGINES[engine](
+            max_incidents=max_incidents, tracer=tracer, metrics=registry
+        )
+        incidents = len(engine_obj.evaluate(log, evaluated))
+        assert engine_obj.last_stats is not None
+        stats = engine_obj.last_stats
 
     root = tracer.last_root
     assert root is not None and root.children, "engine produced no trace"
-    stats = engine_obj.last_stats
-    assert stats is not None
     cost = CostModel(LogStatistics.from_log(log))
     nodes: list[NodeProfile] = []
     _collect(root.children[0], evaluated, cost, "root", 0, nodes)
@@ -278,5 +306,6 @@ def profile_query(
         trace=root,
         registry=registry,
         elapsed_s=root.elapsed_s,
-        incidents=len(result),
+        incidents=incidents,
+        extra=extra,
     )

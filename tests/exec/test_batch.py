@@ -1,0 +1,99 @@
+"""Shared-scan batch evaluation: same results, strictly less work."""
+
+import pytest
+
+from repro.core.eval.indexed import IndexedEngine
+from repro.core.parser import parse
+from repro.core.query import Query
+from repro.exec.batch import SharedScanEngine, evaluate_batch
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+QUERIES = [
+    "GetRefer -> CheckIn",
+    "GetRefer -> CheckIn -> SeeDoctor",
+    "GetRefer -> CheckIn -> UpdateRefer",
+]
+
+
+def independent(log, queries):
+    """Per-query results and the total pairs of N separate evaluations."""
+    results, pairs = [], 0
+    for text in queries:
+        engine = IndexedEngine()
+        results.append(engine.evaluate(log, parse(text)))
+        pairs += engine.last_stats.pairs_examined
+    return results, pairs
+
+
+def test_batch_equals_independent_with_fewer_pairs(clinic_log):
+    expected, indep_pairs = independent(clinic_log, QUERIES)
+    batch = evaluate_batch(clinic_log, QUERIES, optimize=False)
+    for got, want in zip(batch.results, expected):
+        assert list(got) == list(want)
+    # the acceptance criterion: strictly fewer pairs than N independent
+    # evaluations, via the per-(wid, subpattern) memo
+    assert batch.stats.pairs_examined < indep_pairs
+    assert batch.shared_hits > 0
+
+
+def test_batch_with_normalisation_still_equal(clinic_log):
+    expected, _ = independent(clinic_log, QUERIES)
+    batch = evaluate_batch(clinic_log, QUERIES, optimize=True)
+    for got, want in zip(batch.results, expected):
+        assert got == want  # set equality (normalisation may reorder ⊗)
+
+
+def test_duplicate_query_costs_nothing_extra(clinic_log):
+    single = evaluate_batch(clinic_log, [QUERIES[0]], optimize=False)
+    doubled = evaluate_batch(
+        clinic_log, [QUERIES[0], QUERIES[0]], optimize=False
+    )
+    assert doubled.results[0] == doubled.results[1] == single.results[0]
+    # the repeat is answered fully from the memo: zero extra pairs
+    assert doubled.stats.pairs_examined == single.stats.pairs_examined
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_parallel_batch_matches_serial_batch(clinic_log, backend):
+    serial = evaluate_batch(clinic_log, QUERIES)
+    parallel = evaluate_batch(clinic_log, QUERIES, jobs=2, backend=backend)
+    for got, want in zip(parallel.results, serial.results):
+        assert list(got) == list(want)
+    assert parallel.shared_hits > 0
+
+
+def test_shared_scan_engine_counts_hits(figure3_log):
+    engine = SharedScanEngine()
+    pattern = parse("(GetRefer -> CheckIn) | (GetRefer -> SeeDoctor)")
+    result = engine.evaluate(figure3_log, pattern)
+    # "GetRefer" appears in both branches: the second occurrence hits
+    assert engine.shared_hits > 0
+    assert result == IndexedEngine().evaluate(figure3_log, pattern)
+
+
+def test_batch_observability(clinic_log):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    batch = evaluate_batch(
+        clinic_log, QUERIES, tracer=tracer, metrics=registry
+    )
+    root = tracer.last_root
+    assert root is not None and root.label == "batch"
+    assert root.metrics["queries"] == len(QUERIES)
+    assert root.metrics["shared_hits"] == batch.shared_hits
+    assert registry.counter("exec.batch_shared_hits").value == batch.shared_hits
+    assert registry.counter("engine.evaluations").value == 1
+
+
+def test_batch_input_validation(clinic_log):
+    with pytest.raises(ValueError):
+        evaluate_batch(clinic_log, [])
+
+
+def test_query_facade_delegates(clinic_log):
+    batch = Query.evaluate_batch(clinic_log, QUERIES)
+    assert len(batch) == len(QUERIES)
+    assert [len(r) for r in batch] == [
+        len(r) for r in evaluate_batch(clinic_log, QUERIES).results
+    ]

@@ -1,0 +1,97 @@
+"""CLI surface of the parallel subsystem: --jobs and the batch command."""
+
+import pytest
+
+from repro.cli import main
+from repro.logstore.io_jsonl import write_jsonl
+
+
+@pytest.fixture()
+def clinic_file(tmp_path, clinic_log):
+    path = tmp_path / "clinic.jsonl"
+    write_jsonl(clinic_log, path)
+    return str(path)
+
+
+class TestQueryJobs:
+    def test_jobs_count_matches_serial(self, clinic_file, capsys):
+        args = ["query", "--log", clinic_file,
+                "--pattern", "GetRefer -> CheckIn", "--mode", "count"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2", "--backend", "process"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_incident_listing_matches_serial(self, clinic_file, capsys):
+        args = ["query", "--log", clinic_file,
+                "--pattern", "GetRefer -> CheckIn -> SeeDoctor",
+                "--limit", "5"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "3", "--backend", "serial"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_auto_backend_accepted(self, clinic_file, capsys):
+        code = main(["query", "--log", clinic_file, "--pattern", "GetRefer",
+                     "--mode", "count", "--jobs", "2", "--backend", "auto"])
+        assert code == 0
+        assert int(capsys.readouterr().out.strip()) == 40
+
+
+class TestBatch:
+    def test_positional_patterns(self, clinic_file, capsys):
+        code = main(["batch", "--log", clinic_file,
+                     "GetRefer -> CheckIn", "GetRefer -> CheckIn -> SeeDoctor"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].split()[0] == "40"
+        assert "GetRefer -> CheckIn" in lines[0]
+        assert "2 query(ies)" in lines[-1]
+        assert "shared subpattern hit(s)" in lines[-1]
+
+    def test_queries_file(self, clinic_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# pathway checks\n"
+            "GetRefer -> CheckIn\n"
+            "\n"
+            "GetRefer -> CheckIn -> SeeDoctor\n"
+        )
+        code = main(["batch", "--log", clinic_file,
+                     "--queries", str(queries), "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3  # 2 queries + summary
+        assert "2 query(ies)" in out
+
+    def test_parallel_output_matches_serial(self, clinic_file, capsys):
+        patterns = ["GetRefer -> CheckIn", "GetRefer -> SeeDoctor"]
+        assert main(["batch", "--log", clinic_file, *patterns]) == 0
+        serial = capsys.readouterr().out
+        assert main(["batch", "--log", clinic_file, *patterns,
+                     "--jobs", "2", "--backend", "process"]) == 0
+        parallel = capsys.readouterr().out
+        # per-query counts identical; summary line differs only in backend
+        assert serial.splitlines()[:-1] == parallel.splitlines()[:-1]
+
+    def test_no_patterns_is_an_error(self, clinic_file, capsys):
+        code = main(["batch", "--log", clinic_file])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_pattern_reports_error(self, clinic_file, capsys):
+        code = main(["batch", "--log", clinic_file, "A ->"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestProfileJobs:
+    def test_profile_jobs_prints_parallel_line(self, clinic_file, capsys):
+        code = main(["profile", "--log", clinic_file,
+                     "--pattern", "GetRefer -> CheckIn", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parallel: 2 worker(s)" in out
+        assert "backend=process" in out
+        assert "hottest" in out  # per-node table still present
