@@ -14,13 +14,22 @@ Subcommands
   evaluator, printing each alert at the record that completes it;
 * ``profile``   — evaluate a pattern with tracing enabled and print a
   per-node cost breakdown (predicted vs. actual pairs, hottest node);
+  ``--flamegraph out.html`` / ``--folded out.txt`` render the recorded
+  span tree as a self-contained HTML flamegraph / folded stacks;
 * ``batch``     — evaluate several patterns in one shared-scan pass,
   deduplicating common subpatterns across the queries;
+* ``bench``     — the continuous-performance harness: ``bench run``
+  executes a registry suite and records a ``repro.obs.bench/v1``
+  document (appending to ``BENCH_history.jsonl``), ``bench compare``
+  issues noise-aware pass/regress verdicts against a baseline,
+  ``bench report`` prints the recorded trajectory, ``bench list`` the
+  registered cases;
 * ``convert``   — transcode between jsonl / csv / xes.
 
 ``query``, ``profile`` and ``batch`` accept ``--jobs N`` to evaluate over
 wid-disjoint shards on a process pool (see ``docs/PARALLELISM.md``);
-results are identical to serial evaluation.
+results are identical to serial evaluation.  ``query --progress`` adds
+per-shard completion feedback on stderr.
 
 Log formats are inferred from file extensions (``.jsonl``, ``.csv``,
 ``.xes``/``.xml``); ``-`` reads from stdin / writes to stdout as JSONL.
@@ -163,7 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--metrics",
         action="store_true",
-        help="print the engine metrics snapshot (JSON) after the results",
+        help="print the engine metrics snapshot after the results",
+    )
+    query.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="metrics output format: JSON document or Prometheus text "
+        "exposition (implies --metrics)",
     )
     query.add_argument(
         "--jobs",
@@ -176,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "serial", "thread", "process"),
         default=None,
         help="parallel execution backend (implies --jobs; default auto)",
+    )
+    query.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-shard completion on stderr (parallel runs)",
     )
 
     profile = commands.add_parser(
@@ -205,6 +226,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="profile a sharded process-pool evaluation with this many workers",
     )
+    profile.add_argument(
+        "--flamegraph",
+        metavar="OUT.html",
+        default=None,
+        help="write the recorded span tree as a self-contained HTML flamegraph",
+    )
+    profile.add_argument(
+        "--folded",
+        metavar="OUT.txt",
+        default=None,
+        help="write the span tree as folded stacks (self time, microseconds)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark harness: run suites, gate regressions, inspect history",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="run a benchmark suite and record a bench/v1 document"
+    )
+    bench_run.add_argument(
+        "--suite", default="smoke", help="registry suite to run (default: smoke)"
+    )
+    bench_run.add_argument(
+        "--case",
+        action="append",
+        metavar="NAME",
+        help="run only this case (repeatable; overrides --suite)",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=5, help="measured repetitions per case"
+    )
+    bench_run.add_argument(
+        "--warmup", type=int, default=1, help="discarded warmup calls per case"
+    )
+    bench_run.add_argument(
+        "--out",
+        default="BENCH_results.json",
+        help="result document path (gitignored by default naming)",
+    )
+    bench_run.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="append-only history file (- to skip appending)",
+    )
+
+    bench_compare = bench_commands.add_parser(
+        "compare", help="noise-aware verdicts of a run against a baseline"
+    )
+    bench_compare.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/smoke.json",
+        help="committed baseline document",
+    )
+    bench_compare.add_argument(
+        "--results",
+        default="BENCH_results.json",
+        help="candidate document (a bench run output)",
+    )
+    bench_compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative regression threshold on the median (default 0.25)",
+    )
+    bench_compare.add_argument(
+        "--report-only",
+        action="store_true",
+        help="always exit 0: report verdicts without gating",
+    )
+
+    bench_report = bench_commands.add_parser(
+        "report", help="print the recorded history trajectory"
+    )
+    bench_report.add_argument(
+        "--history", default="BENCH_history.jsonl", help="history file to read"
+    )
+    bench_report.add_argument(
+        "--case", default=None, metavar="NAME", help="one case's full trajectory"
+    )
+    bench_report.add_argument(
+        "--last", type=int, default=10, help="show at most the last N runs"
+    )
+
+    bench_commands.add_parser("list", help="list the registered cases")
 
     batch = commands.add_parser(
         "batch",
@@ -348,6 +456,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(d.severity == Severity.ERROR for d in diagnostics) else 0
 
 
+def _shard_progress(stream):
+    """A ``progress(done, total)`` printer for per-shard completion.
+
+    On a TTY the line rewrites in place (carriage return, newline at the
+    end); on anything else — pipes, CI logs, test capture — it prints
+    one plain line per shard so the output stays free of control
+    characters.
+    """
+    is_tty = bool(getattr(stream, "isatty", lambda: False)())
+
+    def progress(done: int, total: int) -> None:
+        if is_tty:
+            end = "\n" if done == total else ""
+            print(f"\rshards {done}/{total}", end=end, file=stream, flush=True)
+        else:
+            print(f"shards {done}/{total}", file=stream, flush=True)
+
+    return progress
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     log = _load_log(args.log)
     parsed = parse_with_spans(args.pattern)
@@ -357,7 +485,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for diagnostic in diagnostics:
             print(diagnostic.format(parsed.text), file=sys.stderr)
     tracer = Tracer() if args.trace else None
-    registry = MetricsRegistry() if args.metrics else None
+    want_metrics = args.metrics or args.metrics_format != "json"
+    registry = MetricsRegistry() if want_metrics else None
     query = Query(
         parsed.pattern,
         engine=args.engine,
@@ -367,6 +496,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         metrics=registry,
         jobs=args.jobs,
         parallel=args.backend,
+        progress=_shard_progress(sys.stderr) if args.progress else None,
     )
     if args.explain:
         print(query.explain(log))
@@ -404,7 +534,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if registry is not None:
         print()
         print("metrics:")
-        print(json.dumps(metrics_to_dict(registry), indent=2, ensure_ascii=False))
+        if args.metrics_format == "prom":
+            print(registry.to_prometheus(), end="")
+        else:
+            print(json.dumps(metrics_to_dict(registry), indent=2, ensure_ascii=False))
     return 0
 
 
@@ -430,7 +563,142 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 f"{report.extra['shards']} shard(s), "
                 f"backend={report.extra['backend']}"
             )
+    if args.flamegraph:
+        from repro.obs.flamegraph import flamegraph_html
+
+        title = f"{report.pattern_text}  (engine={report.engine})"
+        Path(args.flamegraph).write_text(
+            flamegraph_html(report.trace, title=title), encoding="utf-8"
+        )
+        print(f"flamegraph written to {args.flamegraph}", file=sys.stderr)
+    if args.folded:
+        from repro.obs.flamegraph import folded_stacks
+
+        Path(args.folded).write_text(folded_stacks(report.trace), encoding="utf-8")
+        print(f"folded stacks written to {args.folded}", file=sys.stderr)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        append_history,
+        case_series,
+        compare_documents,
+        default_registry,
+        load_history,
+        run_suite,
+    )
+    from repro.obs.export import validate_bench
+
+    if args.bench_command == "list":
+        registry = default_registry()
+        for case in registry:
+            suites = ",".join(case.suites)
+            print(f"{case.name:40s} [{suites}]  {case.description}")
+        print(f"--- {len(registry)} case(s), suites: {', '.join(registry.suites())} ---")
+        return 0
+
+    if args.bench_command == "run":
+        registry = default_registry()
+        names = list(args.case) if args.case else None
+        cases = registry.select(suite=None if names else args.suite, names=names)
+        suite_name = "custom" if names else args.suite
+
+        def progress(name: str, index: int, total: int) -> None:
+            print(f"bench {index + 1}/{total}: {name}", file=sys.stderr, flush=True)
+
+        document = run_suite(
+            cases,
+            suite=suite_name,
+            warmup=args.warmup,
+            repeats=args.repeats,
+            progress=progress,
+        )
+        validate_bench(document)
+        out = Path(args.out)
+        out.write_text(
+            json.dumps(document, indent=2, ensure_ascii=False, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        if args.history != "-":
+            append_history(document, args.history)
+        for case in document["cases"]:
+            stats = case["stats"]
+            print(
+                f"{case['name']:40s} median {stats['median_s'] * 1e3:9.3f}ms  "
+                f"mad {stats['mad_s'] * 1e3:7.3f}ms  "
+                f"(n={stats['n']}, rejected={stats['rejected']})"
+            )
+        print(
+            f"--- suite {suite_name!r}: {len(document['cases'])} case(s) -> {out}"
+            + ("" if args.history == "-" else f", history -> {args.history}")
+            + " ---"
+        )
+        return 0
+
+    if args.bench_command == "compare":
+        baseline = _read_bench_document(args.baseline)
+        candidate = _read_bench_document(args.results)
+        report = compare_documents(baseline, candidate, tolerance=args.tolerance)
+        print(report.format())
+        if args.report_only:
+            return 0
+        return 0 if report.ok else 1
+
+    assert args.bench_command == "report"
+    documents = load_history(args.history)
+    if not documents:
+        print(f"no history at {args.history}")
+        return 0
+    if args.case:
+        series = case_series(documents, args.case)
+        if not series:
+            raise ReproError(f"case {args.case!r} never appears in {args.history}")
+        for created, stats in series[-args.last:]:
+            stamp = _format_unix(created)
+            print(
+                f"{stamp}  median {stats['median_s'] * 1e3:9.3f}ms  "
+                f"mad {stats['mad_s'] * 1e3:7.3f}ms  (n={stats['n']})"
+            )
+        return 0
+    for document in documents[-args.last:]:
+        stamp = _format_unix(int(document.get("created_unix", 0)))
+        cases = document.get("cases", [])
+        total_ms = sum(c["stats"]["median_s"] for c in cases) * 1e3
+        print(
+            f"{stamp}  suite={document.get('suite', '?'):8s}  "
+            f"{len(cases):2d} case(s)  sum-of-medians {total_ms:9.3f}ms"
+        )
+    print(f"--- {len(documents)} recorded run(s) in {args.history} ---")
+    return 0
+
+
+def _read_bench_document(path: str) -> dict:
+    from repro.obs.export import SchemaError, validate_bench
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            document = json.load(fh)
+    except FileNotFoundError:
+        raise ReproError(
+            f"no bench document at {path!r} (run `repro-logs bench run` first, "
+            f"or point --baseline/--results at an existing file)"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON ({exc.msg})") from None
+    try:
+        validate_bench(document)
+    except SchemaError as exc:
+        raise ReproError(f"{path}: {exc}") from None
+    return document
+
+
+def _format_unix(created: int) -> str:
+    from datetime import datetime, timezone
+
+    return datetime.fromtimestamp(created, tz=timezone.utc).strftime(
+        "%Y-%m-%d %H:%M:%SZ"
+    )
 
 
 def _read_query_file(path: str) -> list[str]:
@@ -577,6 +845,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "query": _cmd_query,
     "profile": _cmd_profile,
+    "bench": _cmd_bench,
     "batch": _cmd_batch,
     "lint": _cmd_lint,
     "stats": _cmd_stats,

@@ -91,6 +91,11 @@ class Query:
         only ``jobs`` is given — a cost model keeps cheap queries
         serial), ``"serial"``, ``"thread"`` or ``"process"``.  Setting it
         without ``jobs`` uses one worker per CPU.
+    progress:
+        Optional ``progress(done, total)`` callback fired per completed
+        shard on parallel runs (see
+        :class:`~repro.exec.parallel.ParallelExecutor`); ignored on
+        serial evaluation, which has no shards to report.
     """
 
     def __init__(
@@ -104,6 +109,7 @@ class Query:
         metrics=None,
         jobs: int | None = None,
         parallel: str | None = None,
+        progress=None,
     ):
         if isinstance(pattern, str):
             pattern = parse(pattern)
@@ -114,6 +120,7 @@ class Query:
         self.optimize = optimize
         self.jobs = jobs
         self.parallel = parallel
+        self.progress = progress
         self._tracer = tracer
         self._metrics = metrics
         self._last_plan: OptimizedPlan | None = None
@@ -155,6 +162,7 @@ class Query:
             engine=self.engine,
             tracer=tracer,
             metrics=self._metrics,
+            progress=self.progress,
         )
 
     def run(self, log: Log) -> IncidentSet:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.core.errors import ReproError
 
@@ -38,6 +38,10 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Per-result completion hook: called once per task, in task order, as
+#: each result becomes available to the caller.
+OnResult = Callable[[object], None]
+
 
 class Backend(ABC):
     """Maps a task function over tasks, preserving order."""
@@ -48,9 +52,20 @@ class Backend(ABC):
     jobs: int = 1
 
     @abstractmethod
-    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+    def run(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        on_result: OnResult | None = None,
+    ) -> list[R]:
         """Apply ``fn`` to every task; results are returned in task order
-        and the first raised exception propagates to the caller."""
+        and the first raised exception propagates to the caller.
+
+        ``on_result`` (if given) fires in the calling thread once per
+        completed task, in task order — the executor uses it for shard
+        progress accounting.  Pool backends consume results lazily, so
+        the hook fires as workers finish, not after the whole batch.
+        """
 
     def __enter__(self) -> "Backend":
         return self
@@ -67,8 +82,18 @@ class SerialBackend(Backend):
 
     name = "serial"
 
-    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
-        return [fn(task) for task in tasks]
+    def run(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        on_result: OnResult | None = None,
+    ) -> list[R]:
+        results: list[R] = []
+        for task in tasks:
+            results.append(fn(task))
+            if on_result is not None:
+                on_result(results[-1])
+        return results
 
 
 class _PoolBackend(Backend):
@@ -91,13 +116,28 @@ class _PoolBackend(Backend):
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+    def run(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        on_result: OnResult | None = None,
+    ) -> list[R]:
         if self._executor is None:
             # usable without the context-manager form, at the cost of a
             # fresh pool per call
             with self._executor_cls(max_workers=self.jobs) as executor:
-                return list(executor.map(fn, tasks))
-        return list(self._executor.map(fn, tasks))
+                return self._drain(executor.map(fn, tasks), on_result)
+        return self._drain(self._executor.map(fn, tasks), on_result)
+
+    @staticmethod
+    def _drain(results: "Iterator[R]", on_result: OnResult | None) -> list[R]:
+        if on_result is None:
+            return list(results)
+        drained: list[R] = []
+        for result in results:
+            drained.append(result)
+            on_result(result)
+        return drained
 
 
 class ThreadBackend(_PoolBackend):

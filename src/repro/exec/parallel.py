@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 from collections import Counter
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.eval.base import Engine, EvaluationStats
 from repro.core.incident import Incident, IncidentSet
@@ -117,6 +118,12 @@ class ParallelExecutor:
     dispatch:
         Override the :class:`~repro.core.optimizer.cost.DispatchCostModel`
         used by ``backend="auto"``.
+    progress:
+        Optional per-shard completion hook, called in the calling thread
+        as ``progress(done, total)`` each time a shard finishes.  The
+        same events are published to ``metrics`` as the
+        ``exec.shards_completed`` counter and ``exec.shards_total``
+        gauge, so a registry alone is enough to observe a run.
     """
 
     def __init__(
@@ -130,6 +137,7 @@ class ParallelExecutor:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         dispatch: DispatchCostModel | None = None,
+        progress: Callable[[int, int], None] | None = None,
     ):
         self.jobs = jobs if jobs is not None else default_jobs()
         self.backend = backend
@@ -138,6 +146,7 @@ class ParallelExecutor:
         self.tracer = tracer
         self.metrics = metrics
         self.dispatch = dispatch if dispatch is not None else DispatchCostModel()
+        self.progress = progress
         self.last_result: ParallelResult | None = None
 
     # -- public API --------------------------------------------------------
@@ -171,10 +180,37 @@ class ParallelExecutor:
             for shard in plan
         ]
         with make_backend(backend, self.jobs) as runner:
-            outcomes = runner.run(evaluate_shard, tasks)
+            outcomes = runner.run(
+                evaluate_shard, tasks, on_result=self._shard_done(len(tasks))
+            )
         result = self._merge(outcomes, plan, backend, mode)
         self.last_result = result
         return result
+
+    def _shard_done(self, total: int) -> Callable[[object], None] | None:
+        """Per-shard completion hook: metrics first, then ``progress``.
+
+        Returns None when nobody is listening, so the backends skip the
+        per-result bookkeeping entirely on plain runs.
+        """
+        if self.metrics is None and self.progress is None:
+            return None
+        completed = None
+        if self.metrics is not None:
+            self.metrics.gauge("exec.shards_total").set(total)
+            completed = self.metrics.counter("exec.shards_completed")
+        progress = self.progress
+        done = 0
+
+        def on_result(_outcome: object) -> None:
+            nonlocal done
+            done += 1
+            if completed is not None:
+                completed.inc()
+            if progress is not None:
+                progress(done, total)
+
+        return on_result
 
     def _choose_backend(self, source: Log | LogStore, pattern: Pattern) -> str:
         if self.backend != "auto":

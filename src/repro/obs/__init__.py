@@ -11,7 +11,12 @@ Three layers, each usable on its own:
 * :mod:`repro.obs.profile` — per-node predicted-vs-actual cost reports
   (loaded lazily: it imports the evaluation stack, which itself imports
   ``repro.obs.tracer``);
-* :mod:`repro.obs.log` — the ``repro.*`` stdlib-logging hierarchy.
+* :mod:`repro.obs.log` — the ``repro.*`` stdlib-logging hierarchy;
+* :mod:`repro.obs.flamegraph` — folded-stacks text and self-contained
+  HTML flamegraphs for any recorded span tree;
+* :mod:`repro.obs.bench` — the continuous-performance harness behind
+  ``repro-logs bench`` (registry, robust runner, history, regression
+  comparison; standard cases load lazily).
 
 The evaluation engines accept ``tracer=`` / ``metrics=`` and default to
 no-ops, so none of this costs anything until switched on (see
@@ -19,6 +24,7 @@ no-ops, so none of this costs anything until switched on (see
 """
 
 from repro.obs.export import (
+    BENCH_SCHEMA,
     METRICS_SCHEMA,
     PROFILE_SCHEMA,
     TRACE_SCHEMA,
@@ -26,10 +32,12 @@ from repro.obs.export import (
     metrics_to_dict,
     render_trace,
     trace_to_dict,
+    validate_bench,
     validate_metrics,
     validate_profile,
     validate_trace,
 )
+from repro.obs.flamegraph import flamegraph_html, folded_stacks
 from repro.obs.log import enable_verbose, get_logger, install_null_handler
 from repro.obs.metrics import (
     Counter,
@@ -56,6 +64,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "METRICS_SCHEMA",
     "PROFILE_SCHEMA",
+    "BENCH_SCHEMA",
     "SchemaError",
     "trace_to_dict",
     "metrics_to_dict",
@@ -63,6 +72,9 @@ __all__ = [
     "validate_trace",
     "validate_metrics",
     "validate_profile",
+    "validate_bench",
+    "folded_stacks",
+    "flamegraph_html",
     "get_logger",
     "enable_verbose",
     "install_null_handler",

@@ -1,0 +1,71 @@
+"""repro.obs.bench — continuous performance observability.
+
+The benchmark harness behind ``repro-logs bench run|compare|report``:
+
+* :mod:`repro.obs.bench.registry` — declarative, parameterised cases
+  with deterministic seeded workloads (standard cases wrap the
+  ``benchmarks/bench_*.py`` scenarios, see
+  :mod:`repro.obs.bench.cases`);
+* :mod:`repro.obs.bench.stats` — rank-based summaries (median / IQR /
+  MAD with outlier rejection) for noisy wall-time samples;
+* :mod:`repro.obs.bench.runner` — warmup + repetition execution,
+  machine fingerprinting, and the versioned ``repro.obs.bench/v1``
+  result document;
+* :mod:`repro.obs.bench.history` — the append-only
+  ``BENCH_history.jsonl`` trajectory;
+* :mod:`repro.obs.bench.compare` — noise-aware pass / regress verdicts
+  against the committed baselines in ``benchmarks/baselines/``.
+
+Importing this package is cheap; the standard cases (which pull in the
+evaluation stack) load on the first :func:`default_registry` call.
+"""
+
+from repro.obs.bench.compare import (
+    CaseVerdict,
+    CompareReport,
+    compare_documents,
+)
+from repro.obs.bench.history import (
+    DEFAULT_HISTORY,
+    append_history,
+    case_series,
+    load_history,
+)
+from repro.obs.bench.registry import BenchCase, BenchRegistry, default_registry
+from repro.obs.bench.runner import (
+    BENCH_SCHEMA,
+    machine_fingerprint,
+    run_case,
+    run_suite,
+)
+from repro.obs.bench.stats import (
+    iqr,
+    mad,
+    median,
+    quantile,
+    reject_outliers,
+    summarize_samples,
+)
+
+__all__ = [
+    "BenchCase",
+    "BenchRegistry",
+    "default_registry",
+    "BENCH_SCHEMA",
+    "machine_fingerprint",
+    "run_case",
+    "run_suite",
+    "DEFAULT_HISTORY",
+    "append_history",
+    "load_history",
+    "case_series",
+    "CaseVerdict",
+    "CompareReport",
+    "compare_documents",
+    "median",
+    "quantile",
+    "iqr",
+    "mad",
+    "reject_outliers",
+    "summarize_samples",
+]

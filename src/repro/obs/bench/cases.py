@@ -1,0 +1,241 @@
+"""The standard benchmark cases: the ad-hoc ``benchmarks/bench_*.py``
+scenarios as named, parameterised registry entries.
+
+Every workload is built from a fixed seed (workflow simulation) or a
+fixed literal trace shape, so two runs of the same case measure the
+same work — the precondition for history and baseline comparison.  Case
+names are hierarchical: ``<scenario>.<variant>``, where the scenario
+matches the originating bench module:
+
+* ``operators.*``    — Lemma 1 per-operator pairwise evaluation;
+* ``scaling.*``      — Section 3.2 index vs scan behaviour;
+* ``optimizer.*``    — Theorems 2-5 plan quality and planning overhead;
+* ``parallel.*``     — wid-disjoint shard fan-out (PR 3);
+* ``batch.*``        — shared-scan multi-query evaluation;
+* ``incremental.*``  — streaming maintenance vs batch re-evaluation.
+
+The ``smoke`` suite is the cheap CI subset (sub-second per case on any
+host); ``full`` adds the larger sweeps.  Import cost: this module pulls
+in the whole evaluation stack, so the registry loads it lazily via
+:func:`repro.obs.bench.registry.default_registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.eval.incremental import IncrementalEvaluator
+from repro.core.eval.indexed import IndexedEngine
+from repro.core.eval.naive import (
+    choice_eval,
+    consecutive_eval,
+    parallel_eval,
+    sequential_eval,
+)
+from repro.core.incident import Incident
+from repro.core.model import Log
+from repro.core.optimizer import Optimizer
+from repro.core.parser import parse
+from repro.obs.bench.registry import BenchRegistry
+
+__all__ = ["register_standard_cases", "operand_sets", "clinic_log", "skewed_log"]
+
+_OPERATORS: dict[str, Callable[..., Any]] = {
+    "consecutive": consecutive_eval,
+    "sequential": sequential_eval,
+    "choice": choice_eval,
+    "parallel": parallel_eval,
+}
+
+
+def operand_sets(n: int) -> tuple[list[Incident], list[Incident]]:
+    """Two atomic incident lists of size ``n`` over one instance — As
+    then Bs, so pairwise operators produce their full quadratic output
+    (the Lemma 1 workload of ``benchmarks/bench_operators.py``)."""
+    log = Log.from_traces([["A"] * n + ["B"] * n])
+    a = [Incident([r]) for r in log.with_activity("A")]
+    b = [Incident([r]) for r in log.with_activity("B")]
+    return a, b
+
+
+def clinic_log(instances: int, seed: int = 1) -> Log:
+    """A simulated clinic-referral log (the shared realistic workload)."""
+    from repro.workflow.engine import SimulationConfig, WorkflowEngine
+    from repro.workflow.models import clinic_referral_workflow
+
+    engine = WorkflowEngine(clinic_referral_workflow())
+    return engine.run(SimulationConfig(instances=instances, seed=seed))
+
+
+def skewed_log(instances: int = 60, hot: int = 20) -> Log:
+    """One rare activity ahead of a hot burst — the optimizer's best
+    case (``benchmarks/bench_optimizer.py``)."""
+    traces = {}
+    for wid in range(1, instances + 1):
+        traces[wid] = (["R"] if wid == 1 else []) + ["H"] * hot + ["M"] * 4
+    return Log.from_traces(traces)
+
+
+def register_standard_cases(registry: BenchRegistry) -> None:
+    """Populate ``registry`` with the standard scenario cases."""
+
+    # -- operators (Lemma 1) ----------------------------------------------
+
+    for op_name in sorted(_OPERATORS):
+        evaluate = _OPERATORS[op_name]
+
+        def _operator_setup(n: int, _evaluate=evaluate) -> Callable[[], Any]:
+            inc1, inc2 = operand_sets(n)
+            return lambda: _evaluate(inc1, inc2)
+
+        registry.case(
+            f"operators.{op_name}",
+            suites=("smoke", "full"),
+            description=f"Lemma 1 pairwise {op_name} evaluation, n1=n2=n",
+            n=128,
+        )(_operator_setup)
+
+    # -- scaling (Section 3.2) --------------------------------------------
+
+    @registry.case(
+        "scaling.atomic_indexed",
+        suites=("smoke", "full"),
+        description="atomic query through the per-activity index",
+        instances=100,
+    )
+    def _atomic_indexed(instances: int) -> Callable[[], Any]:
+        log = clinic_log(instances, seed=3)
+        engine = IndexedEngine()
+        pattern = parse("UpdateRefer")
+        return lambda: engine.evaluate(log, pattern)
+
+    @registry.case(
+        "scaling.negated_scan",
+        suites=("full",),
+        description="negated atom forcing a full scan",
+        instances=100,
+    )
+    def _negated_scan(instances: int) -> Callable[[], Any]:
+        log = clinic_log(instances, seed=3)
+        engine = IndexedEngine()
+        pattern = parse("!UpdateRefer")
+        return lambda: engine.evaluate(log, pattern)
+
+    @registry.case(
+        "scaling.chain",
+        suites=("smoke", "full"),
+        description="three-activity sequential chain vs instance count",
+        instances=100,
+    )
+    def _chain(instances: int) -> Callable[[], Any]:
+        log = clinic_log(instances, seed=3)
+        engine = IndexedEngine()
+        pattern = parse("GetRefer -> UpdateRefer -> GetReimburse")
+        return lambda: engine.evaluate(log, pattern)
+
+    # -- optimizer (Theorems 2-5) -----------------------------------------
+
+    @registry.case(
+        "optimizer.pathological_association",
+        suites=("full",),
+        description="rare-activity chain in the right-deep association",
+        instances=60,
+        hot=20,
+    )
+    def _pathological(instances: int, hot: int) -> Callable[[], Any]:
+        log = skewed_log(instances, hot)
+        engine = IndexedEngine()
+        pattern = parse("R -> (H -> H)")
+        return lambda: engine.evaluate(log, pattern)
+
+    @registry.case(
+        "optimizer.optimized_association",
+        suites=("smoke", "full"),
+        description="the same chain under the DP-chosen plan",
+        instances=60,
+        hot=20,
+    )
+    def _optimized(instances: int, hot: int) -> Callable[[], Any]:
+        log = skewed_log(instances, hot)
+        engine = IndexedEngine()
+        plan = Optimizer.for_log(log).optimize(parse("R -> (H -> H)"))
+        return lambda: engine.evaluate(log, plan.optimized)
+
+    @registry.case(
+        "optimizer.planning_overhead",
+        suites=("smoke", "full"),
+        description="cost of planning itself (must stay negligible)",
+        instances=60,
+        hot=20,
+    )
+    def _planning(instances: int, hot: int) -> Callable[[], Any]:
+        log = skewed_log(instances, hot)
+        optimizer = Optimizer.for_log(log)
+        pattern = parse("R -> (H -> H)")
+        return lambda: optimizer.optimize(pattern)
+
+    # -- parallel / batch (PR 3) ------------------------------------------
+
+    @registry.case(
+        "parallel.serial_reference",
+        suites=("smoke", "full"),
+        description="direct engine evaluation — the sharding reference",
+        instances=120,
+    )
+    def _parallel_serial(instances: int) -> Callable[[], Any]:
+        log = clinic_log(instances, seed=42)
+        engine = IndexedEngine()
+        pattern = parse("GetRefer -> CheckIn -> SeeDoctor")
+        return lambda: engine.evaluate(log, pattern)
+
+    @registry.case(
+        "parallel.process_j2",
+        suites=("full",),
+        description="2-worker process-pool shard fan-out, hash strategy",
+        instances=120,
+        jobs=2,
+    )
+    def _parallel_process(instances: int, jobs: int) -> Callable[[], Any]:
+        from repro.exec.parallel import ParallelExecutor
+
+        log = clinic_log(instances, seed=42)
+        pattern = parse("GetRefer -> CheckIn -> SeeDoctor")
+        executor = ParallelExecutor(jobs=jobs, backend="process", strategy="hash")
+        return lambda: executor.evaluate(log, pattern)
+
+    @registry.case(
+        "batch.shared_scan",
+        suites=("smoke", "full"),
+        description="three overlapping chains in one shared-scan pass",
+        instances=120,
+    )
+    def _batch(instances: int) -> Callable[[], Any]:
+        from repro.exec.batch import evaluate_batch
+
+        log = clinic_log(instances, seed=42)
+        patterns = [
+            parse("GetRefer -> CheckIn"),
+            parse("GetRefer -> CheckIn -> SeeDoctor"),
+            parse("GetRefer -> CheckIn -> UpdateRefer"),
+        ]
+        return lambda: evaluate_batch(log, patterns, optimize=False)
+
+    # -- incremental (streaming) ------------------------------------------
+
+    @registry.case(
+        "incremental.stream",
+        suites=("smoke", "full"),
+        description="maintain incL(p) record by record over a full log",
+        instances=60,
+    )
+    def _incremental(instances: int) -> Callable[[], Any]:
+        log = clinic_log(instances, seed=11)
+        pattern = parse("UpdateRefer -> GetReimburse")
+
+        def run() -> Any:
+            evaluator = IncrementalEvaluator(pattern)
+            for record in log:
+                evaluator.append(record)
+            return evaluator.incidents()
+
+        return run

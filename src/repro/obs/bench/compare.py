@@ -1,0 +1,208 @@
+"""Noise-aware regression comparison between two bench documents.
+
+Wall-clock medians move for three reasons: the code changed, the noise
+changed, or the machine changed.  :func:`compare_documents` only calls
+"regress" when the first explanation is the only one left standing — a
+candidate median must exceed the baseline median by **both**
+
+* a *relative* margin (``tolerance``, default 25%: below integer-factor
+  territory but above run-to-run drift of a warm interpreter), and
+* an *absolute* noise floor derived from the recorded spreads
+  (``noise_k`` scaled MADs of whichever document is noisier) with a hard
+  minimum of ``min_delta_s`` — sub-100µs cases jitter by scheduler
+  quantum regardless of code.
+
+Improvements are reported symmetrically (informational, never failing);
+cases present on only one side read ``missing``/``new`` so a silently
+shrinking suite cannot fake a pass.  A machine-fingerprint mismatch
+demotes every timing verdict to advisory (``machine_matches`` False):
+cross-host deltas are hardware, and CI enforces gating only on matching
+fingerprints (or runs report-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["CaseVerdict", "CompareReport", "compare_documents"]
+
+#: Default relative regression threshold (candidate vs baseline median).
+DEFAULT_TOLERANCE = 0.25
+
+#: Default MAD multiplier for the absolute noise floor.
+DEFAULT_NOISE_K = 3.0
+
+#: Absolute floor below which a delta is never significant (seconds).
+DEFAULT_MIN_DELTA_S = 1e-4
+
+
+@dataclass(frozen=True)
+class CaseVerdict:
+    """The comparison outcome of one case."""
+
+    name: str
+    status: str  # "pass" | "regress" | "improve" | "missing" | "new"
+    baseline_s: float | None = None
+    candidate_s: float | None = None
+    noise_floor_s: float = 0.0
+    detail: str = ""
+
+    @property
+    def ratio(self) -> float | None:
+        """candidate / baseline median, when both exist and baseline > 0."""
+        if self.baseline_s and self.candidate_s is not None:
+            return self.candidate_s / self.baseline_s
+        return None
+
+    def format(self) -> str:
+        marks = {
+            "pass": "ok      ",
+            "improve": "improve ",
+            "regress": "REGRESS ",
+            "missing": "MISSING ",
+            "new": "new     ",
+        }
+        line = f"{marks[self.status]}{self.name}"
+        if self.baseline_s is not None and self.candidate_s is not None:
+            line += (
+                f"  {self.baseline_s * 1e3:.3f}ms -> {self.candidate_s * 1e3:.3f}ms"
+                f"  (x{self.ratio:.2f})"
+            )
+        if self.detail:
+            line += f"  [{self.detail}]"
+        return line
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Every verdict of one baseline/candidate comparison."""
+
+    verdicts: tuple[CaseVerdict, ...]
+    tolerance: float
+    machine_matches: bool
+
+    @property
+    def regressions(self) -> tuple[CaseVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == "regress")
+
+    @property
+    def missing(self) -> tuple[CaseVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == "missing")
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no regressions and no silently dropped cases.
+
+        Timing regressions only gate when the machines match; a missing
+        case gates unconditionally (coverage does not depend on hardware).
+        """
+        if self.missing:
+            return False
+        return not (self.machine_matches and self.regressions)
+
+    def format(self) -> str:
+        lines = [v.format() for v in self.verdicts]
+        counts: dict[str, int] = {}
+        for verdict in self.verdicts:
+            counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        summary = ", ".join(f"{n} {status}" for status, n in sorted(counts.items()))
+        lines.append(
+            f"--- {len(self.verdicts)} case(s): {summary}; "
+            f"tolerance {self.tolerance:.0%}; "
+            + (
+                "machines match ---"
+                if self.machine_matches
+                else "MACHINES DIFFER (timing verdicts advisory) ---"
+            )
+        )
+        lines.append("verdict: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _case_index(document: Mapping[str, Any]) -> dict[str, Mapping[str, Any]]:
+    return {case["name"]: case for case in document.get("cases", ())}
+
+
+def _median(case: Mapping[str, Any]) -> float:
+    return float(case["stats"]["median_s"])
+
+
+def _mad(case: Mapping[str, Any]) -> float:
+    return float(case["stats"].get("mad_s", 0.0))
+
+
+def compare_documents(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    noise_k: float = DEFAULT_NOISE_K,
+    min_delta_s: float = DEFAULT_MIN_DELTA_S,
+) -> CompareReport:
+    """Compare two ``repro.obs.bench/v1`` documents case by case."""
+    baseline_cases = _case_index(baseline)
+    candidate_cases = _case_index(candidate)
+    machine_matches = dict(baseline.get("machine", {})) == dict(
+        candidate.get("machine", {})
+    )
+
+    verdicts: list[CaseVerdict] = []
+    for name in sorted(baseline_cases.keys() | candidate_cases.keys()):
+        base = baseline_cases.get(name)
+        cand = candidate_cases.get(name)
+        if base is None:
+            assert cand is not None
+            verdicts.append(
+                CaseVerdict(
+                    name=name,
+                    status="new",
+                    candidate_s=_median(cand),
+                    detail="not in baseline",
+                )
+            )
+            continue
+        if cand is None:
+            verdicts.append(
+                CaseVerdict(
+                    name=name,
+                    status="missing",
+                    baseline_s=_median(base),
+                    detail="in baseline but not in this run",
+                )
+            )
+            continue
+        if dict(base.get("params", {})) != dict(cand.get("params", {})):
+            verdicts.append(
+                CaseVerdict(
+                    name=name,
+                    status="missing",
+                    baseline_s=_median(base),
+                    candidate_s=_median(cand),
+                    detail="params changed; baseline is stale",
+                )
+            )
+            continue
+        base_s, cand_s = _median(base), _median(cand)
+        noise_floor = max(noise_k * max(_mad(base), _mad(cand)), min_delta_s)
+        delta = cand_s - base_s
+        if delta > base_s * tolerance and delta > noise_floor:
+            status = "regress"
+        elif -delta > base_s * tolerance and -delta > noise_floor:
+            status = "improve"
+        else:
+            status = "pass"
+        verdicts.append(
+            CaseVerdict(
+                name=name,
+                status=status,
+                baseline_s=base_s,
+                candidate_s=cand_s,
+                noise_floor_s=noise_floor,
+            )
+        )
+    return CompareReport(
+        verdicts=tuple(verdicts),
+        tolerance=tolerance,
+        machine_matches=machine_matches,
+    )

@@ -1,0 +1,72 @@
+"""Benchmark history: an append-only JSONL trajectory.
+
+Every ``repro-logs bench run`` appends its full ``repro.obs.bench/v1``
+document as one line of ``BENCH_history.jsonl`` (path overridable), so
+the file *is* the recorded perf trajectory of the working tree — greppable,
+diffable and loadable without tooling.  The file is local state (it is
+gitignored, like the ``BENCH_*.json`` run outputs); the *committed* perf
+contract lives in ``benchmarks/baselines/``.
+
+Lines that fail to parse are reported, not silently skipped: a corrupt
+history should be noticed, then truncated deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import ReproError
+
+__all__ = ["DEFAULT_HISTORY", "append_history", "load_history", "case_series"]
+
+#: Default history file, in the invoking directory (gitignored).
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+
+def append_history(document: dict[str, Any], path: str | Path = DEFAULT_HISTORY) -> Path:
+    """Append one result document as a single JSONL line; returns the path."""
+    target = Path(path)
+    line = json.dumps(document, ensure_ascii=False, sort_keys=True)
+    with target.open("a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+    return target
+
+
+def load_history(path: str | Path = DEFAULT_HISTORY) -> list[dict[str, Any]]:
+    """All recorded documents, oldest first; [] for a missing file."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    documents: list[dict[str, Any]] = []
+    for lineno, line in enumerate(
+        target.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            documents.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{target}:{lineno}: corrupt history line ({exc.msg}); "
+                f"truncate the file to repair"
+            ) from None
+    return documents
+
+
+def case_series(
+    documents: list[dict[str, Any]], case_name: str
+) -> list[tuple[int, dict[str, Any]]]:
+    """The ``(created_unix, stats)`` trajectory of one case across runs.
+
+    Runs not containing the case are skipped — suites overlap but do not
+    all cover every case.
+    """
+    series: list[tuple[int, dict[str, Any]]] = []
+    for document in documents:
+        for case in document.get("cases", ()):
+            if case.get("name") == case_name:
+                series.append((int(document.get("created_unix", 0)), case["stats"]))
+                break
+    return series

@@ -1,0 +1,163 @@
+"""Declarative benchmark registry.
+
+A :class:`BenchCase` names one measurable scenario: a *setup* callable
+builds the workload from a deterministic seed (excluded from timing) and
+a *run* callable is the timed body.  Cases carry the suites they belong
+to (``smoke`` is the tiny CI subset, ``full`` the complete sweep) and a
+params dict that documents the workload scale — both are recorded into
+the ``repro.obs.bench/v1`` result document, so two results are
+comparable only when their cases describe the same work.
+
+The registry replaces the ad-hoc ``benchmarks/bench_*.py`` timing
+loops as the *recorded* perf surface: pytest benches still assert
+complexity shapes, but the registry is what ``repro-logs bench run``
+executes, what ``BENCH_history.jsonl`` accumulates, and what the
+committed baselines under ``benchmarks/baselines/`` gate against.
+
+>>> registry = BenchRegistry()
+>>> @registry.case("operators.sequential", suites=("smoke",), n=64)
+... def _sequential(n):
+...     inc1, inc2 = make_operands(n)          # doctest: +SKIP
+...     return lambda: sequential_eval(inc1, inc2)   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.core.errors import ReproError
+
+__all__ = ["BenchCase", "BenchRegistry", "default_registry"]
+
+#: A setup callable: builds the workload, returns the zero-argument
+#: timed body.  Setup cost (log generation, index building) is excluded
+#: from every sample.
+Setup = Callable[..., Callable[[], Any]]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named, parameterised benchmark scenario."""
+
+    name: str
+    setup: Setup
+    suites: tuple[str, ...] = ("full",)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def build(self) -> Callable[[], Any]:
+        """Run setup, returning the timed body."""
+        body = self.setup(**dict(self.params))
+        if not callable(body):
+            raise ReproError(
+                f"bench case {self.name!r}: setup must return the timed "
+                f"callable, got {type(body).__name__}"
+            )
+        return body
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.name}({params})" if params else self.name
+
+
+class BenchRegistry:
+    """Owns cases by unique name; selects by suite or explicit names."""
+
+    def __init__(self) -> None:
+        self._cases: dict[str, BenchCase] = {}
+
+    def case(
+        self,
+        name: str,
+        *,
+        suites: tuple[str, ...] = ("full",),
+        description: str = "",
+        **params: Any,
+    ) -> Callable[[Setup], Setup]:
+        """Decorator registering ``setup`` as case ``name``.
+
+        ``params`` are passed to setup as keyword arguments and recorded
+        verbatim in result documents.
+        """
+
+        def register(setup: Setup) -> Setup:
+            self.add(
+                BenchCase(
+                    name=name,
+                    setup=setup,
+                    suites=tuple(suites),
+                    params=dict(params),
+                    description=description or (setup.__doc__ or "").strip(),
+                )
+            )
+            return setup
+
+        return register
+
+    def add(self, case: BenchCase) -> None:
+        if case.name in self._cases:
+            raise ReproError(f"bench case {case.name!r} already registered")
+        if not case.suites:
+            raise ReproError(f"bench case {case.name!r} belongs to no suite")
+        self._cases[case.name] = case
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def __iter__(self) -> Iterator[BenchCase]:
+        return iter(self._cases[name] for name in sorted(self._cases))
+
+    def get(self, name: str) -> BenchCase:
+        try:
+            return self._cases[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown bench case {name!r}; available: {sorted(self._cases)}"
+            ) from None
+
+    def suites(self) -> tuple[str, ...]:
+        """Every suite any case belongs to, sorted."""
+        return tuple(sorted({s for c in self._cases.values() for s in c.suites}))
+
+    def select(
+        self, *, suite: str | None = None, names: list[str] | None = None
+    ) -> list[BenchCase]:
+        """Cases for one run: by suite, by explicit names, or everything.
+
+        Name selection validates every name; suite selection raises on a
+        suite no case belongs to (a typo would otherwise read as an
+        empty, trivially passing run).
+        """
+        if names:
+            return [self.get(name) for name in names]
+        if suite is None:
+            return list(self)
+        selected = [case for case in self if suite in case.suites]
+        if not selected:
+            raise ReproError(
+                f"no bench cases in suite {suite!r}; available suites: "
+                f"{list(self.suites())}"
+            )
+        return selected
+
+    def __repr__(self) -> str:
+        return f"BenchRegistry({len(self._cases)} case(s), suites={list(self.suites())})"
+
+
+_DEFAULT: BenchRegistry | None = None
+
+
+def default_registry() -> BenchRegistry:
+    """The process-wide registry, populated with the standard cases of
+    :mod:`repro.obs.bench.cases` on first use (imported lazily — the
+    cases pull in the evaluation stack)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = BenchRegistry()
+        from repro.obs.bench import cases
+
+        cases.register_standard_cases(_DEFAULT)
+    return _DEFAULT

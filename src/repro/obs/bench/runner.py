@@ -1,0 +1,140 @@
+"""Benchmark execution: warmup, repetitions, robust summaries.
+
+:func:`run_case` times one registry case — setup once (excluded), then
+``warmup`` discarded calls, then ``repeats`` measured calls — and
+summarises the wall-time samples with the outlier-rejecting statistics
+of :mod:`repro.obs.bench.stats`.  :func:`run_suite` maps that over a
+case selection and assembles the versioned ``repro.obs.bench/v1``
+document (validated by :func:`repro.obs.export.validate_bench`):
+
+.. code-block:: python
+
+    {
+      "schema": "repro.obs.bench/v1",
+      "suite": "smoke",
+      "created_unix": 1754... ,
+      "machine": {"platform": ..., "python": ..., "cpu_count": ...},
+      "config": {"warmup": 1, "repeats": 5, "mad_k": 3.5},
+      "cases": [{"name": ..., "params": {...}, "samples_s": [...],
+                 "stats": {"median_s": ..., "mad_s": ..., ...}}, ...]
+    }
+
+The machine fingerprint travels with every result so the comparator can
+warn when a candidate and a baseline were recorded on different hosts —
+cross-machine timing deltas are hardware, not regressions.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import platform
+import time
+from typing import Any, Callable, Sequence
+
+from repro.obs.bench.registry import BenchCase
+from repro.obs.bench.stats import DEFAULT_MAD_K, summarize_samples
+from repro.obs.export import BENCH_SCHEMA
+
+__all__ = ["machine_fingerprint", "run_case", "run_suite", "BENCH_SCHEMA"]
+
+#: Default measured repetitions per case.
+DEFAULT_REPEATS = 5
+
+#: Default discarded warmup calls per case.
+DEFAULT_WARMUP = 1
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Stable identity of the measuring host.
+
+    Everything that plausibly moves a timing by an integer factor:
+    interpreter version and implementation, OS, CPU architecture and
+    count.  Deliberately no hostname — fingerprints should compare equal
+    across identical CI runners.
+    """
+    return {
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def run_case(
+    case: BenchCase,
+    *,
+    warmup: int = DEFAULT_WARMUP,
+    repeats: int = DEFAULT_REPEATS,
+    mad_k: float = DEFAULT_MAD_K,
+) -> dict[str, Any]:
+    """Time one case; returns its ``cases[]`` entry of the v1 document.
+
+    The GC is collected once and disabled around the measured calls so a
+    collection triggered by one sample does not land in another; samples
+    are raw per-call wall times (no per-sample minimum), leaving spread
+    estimation to the summary statistics.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    body = case.build()
+    for _ in range(max(0, warmup)):
+        body()
+    samples: list[float] = []
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            body()
+            samples.append(time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "name": case.name,
+        "suites": list(case.suites),
+        "params": dict(case.params),
+        "samples_s": samples,
+        "stats": summarize_samples(samples, k=mad_k),
+    }
+
+
+def run_suite(
+    cases: Sequence[BenchCase],
+    *,
+    suite: str = "custom",
+    warmup: int = DEFAULT_WARMUP,
+    repeats: int = DEFAULT_REPEATS,
+    mad_k: float = DEFAULT_MAD_K,
+    progress: Callable[[str, int, int], None] | None = None,
+) -> dict[str, Any]:
+    """Run every case and assemble the ``repro.obs.bench/v1`` document.
+
+    ``progress`` (if given) is called as ``progress(case_name, index,
+    total)`` *before* each case runs — the CLI uses it for stderr
+    feedback on long suites.
+    """
+    if not cases:
+        raise ValueError("run_suite needs at least one case")
+    results = []
+    for index, case in enumerate(cases):
+        if progress is not None:
+            progress(case.name, index, len(cases))
+        results.append(
+            run_case(case, warmup=warmup, repeats=repeats, mad_k=mad_k)
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "created_unix": int(time.time()),
+        "machine": machine_fingerprint(),
+        "config": {
+            "warmup": int(warmup),
+            "repeats": int(repeats),
+            "mad_k": float(mad_k),
+        },
+        "cases": results,
+    }

@@ -1,0 +1,131 @@
+"""Robust summary statistics for benchmark timing samples.
+
+Wall-time samples are contaminated by one-sided noise (scheduler
+preemption, page faults, turbo throttling): the distribution has a hard
+floor near the true cost and a long right tail.  Means and standard
+deviations are dominated by that tail, so every summary here is rank
+based — the **median** locates a run, the **IQR** and the **MAD**
+(median absolute deviation) measure its spread, and
+:func:`reject_outliers` drops samples farther than ``k`` scaled MADs
+from the median before anything else is computed (the modified z-score
+rule; ``k=3.5`` is the conventional cutoff).
+
+All functions are dependency-free and total: they accept any non-empty
+sequence of finite numbers and never divide by zero (a zero MAD —
+perfectly repeatable samples — rejects nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "median",
+    "quantile",
+    "iqr",
+    "mad",
+    "reject_outliers",
+    "summarize_samples",
+]
+
+#: Consistency constant making the MAD estimate the standard deviation
+#: of a normal distribution (1 / Phi^-1(3/4)).
+MAD_SCALE = 1.4826
+
+#: Default modified-z-score cutoff for :func:`reject_outliers`.
+DEFAULT_MAD_K = 3.5
+
+
+def _checked(samples: Sequence[float]) -> list[float]:
+    values = [float(s) for s in samples]
+    if not values:
+        raise ValueError("need at least one sample")
+    return values
+
+
+def median(samples: Sequence[float]) -> float:
+    """The middle order statistic (mean of the middle two for even n)."""
+    values = sorted(_checked(samples))
+    mid = len(values) // 2
+    if len(values) % 2:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile, ``0 <= q <= 1`` (type-7, numpy's
+    default), so ``quantile(s, 0.5) == median(s)``."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    values = sorted(_checked(samples))
+    if len(values) == 1:
+        return values[0]
+    position = q * (len(values) - 1)
+    low = int(position)
+    frac = position - low
+    if frac == 0.0:
+        return values[low]
+    return values[low] * (1.0 - frac) + values[low + 1] * frac
+
+
+def iqr(samples: Sequence[float]) -> float:
+    """Interquartile range: ``q3 - q1``."""
+    return quantile(samples, 0.75) - quantile(samples, 0.25)
+
+
+def mad(samples: Sequence[float], *, center: float | None = None) -> float:
+    """Median absolute deviation from ``center`` (default: the median).
+
+    Unscaled — multiply by :data:`MAD_SCALE` for a normal-consistent
+    spread estimate.
+    """
+    values = _checked(samples)
+    mid = median(values) if center is None else center
+    return median([abs(v - mid) for v in values])
+
+
+def reject_outliers(
+    samples: Sequence[float], *, k: float = DEFAULT_MAD_K
+) -> tuple[list[float], list[float]]:
+    """Split samples into ``(kept, rejected)`` by the modified z-score.
+
+    A sample is rejected when ``|x - median| > k * MAD_SCALE * MAD``.
+    With a zero MAD (all samples identical up to the median) nothing is
+    rejected — a degenerate spread means there is no scale to judge
+    deviations against.
+    """
+    values = _checked(samples)
+    mid = median(values)
+    spread = mad(values, center=mid) * MAD_SCALE
+    if spread == 0.0:
+        return values, []
+    kept: list[float] = []
+    rejected: list[float] = []
+    for value in values:
+        (kept if abs(value - mid) <= k * spread else rejected).append(value)
+    if not kept:  # pragma: no cover - impossible: the median always survives
+        return values, []
+    return kept, rejected
+
+
+def summarize_samples(
+    samples: Sequence[float], *, k: float = DEFAULT_MAD_K
+) -> dict[str, float | int]:
+    """Outlier-rejected summary of one timing series.
+
+    The dict is exactly the ``stats`` object of a ``repro.obs.bench/v1``
+    case: ``median_s``, ``min_s``, ``max_s``, ``mean_s``, ``iqr_s``,
+    ``mad_s`` (scaled), ``n`` (kept sample count) and ``rejected``
+    (dropped sample count).  ``n + rejected`` equals the raw count.
+    """
+    kept, rejected = reject_outliers(samples, k=k)
+    return {
+        "median_s": median(kept),
+        "min_s": min(kept),
+        "max_s": max(kept),
+        "mean_s": sum(kept) / len(kept),
+        "iqr_s": iqr(kept),
+        "mad_s": mad(kept) * MAD_SCALE,
+        "n": len(kept),
+        "rejected": len(rejected),
+    }

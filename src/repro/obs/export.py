@@ -1,12 +1,15 @@
-"""Trace/metrics/profile exporters and their stable JSON schemas.
+"""Trace/metrics/profile/bench exporters and their stable JSON schemas.
 
-Three document kinds, each tagged with a ``schema`` field so downstream
+Four document kinds, each tagged with a ``schema`` field so downstream
 tooling can dispatch and version-check:
 
 * ``repro.obs.trace/v1``   — a span tree (:func:`trace_to_dict`);
 * ``repro.obs.metrics/v1`` — a registry snapshot (:func:`metrics_to_dict`);
 * ``repro.obs.profile/v1`` — a per-node cost breakdown with cost-model
-  predictions (:meth:`repro.obs.profile.ProfileReport.to_dict`).
+  predictions (:meth:`repro.obs.profile.ProfileReport.to_dict`);
+* ``repro.obs.bench/v1``   — a benchmark-suite result with robust timing
+  summaries and a machine fingerprint
+  (:func:`repro.obs.bench.runner.run_suite`).
 
 ``validate_*`` functions are dependency-free structural validators (no
 jsonschema): they raise :class:`SchemaError` on the first violation and
@@ -26,6 +29,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "METRICS_SCHEMA",
     "PROFILE_SCHEMA",
+    "BENCH_SCHEMA",
     "SchemaError",
     "trace_to_dict",
     "metrics_to_dict",
@@ -33,11 +37,13 @@ __all__ = [
     "validate_trace",
     "validate_metrics",
     "validate_profile",
+    "validate_bench",
 ]
 
 TRACE_SCHEMA = "repro.obs.trace/v1"
 METRICS_SCHEMA = "repro.obs.metrics/v1"
 PROFILE_SCHEMA = "repro.obs.profile/v1"
+BENCH_SCHEMA = "repro.obs.bench/v1"
 
 
 class SchemaError(ValueError):
@@ -251,3 +257,86 @@ def validate_profile(doc: Any) -> None:
     hottest = _require_mapping(doc["hottest"], "hottest")
     _require("path" in hottest and "label" in hottest, "hottest needs path and label")
     _require(hottest["path"] in paths, "hottest.path must name an exported node")
+
+
+_BENCH_MACHINE_FIELDS = ("platform", "machine", "python", "implementation", "cpu_count")
+
+_BENCH_STAT_FIELDS = ("median_s", "min_s", "max_s", "mean_s", "iqr_s", "mad_s")
+
+
+def _require_number(value: Any, what: str, *, nonnegative: bool = True) -> None:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{what} must be numeric",
+    )
+    if nonnegative:
+        _require(value >= 0, f"{what} must be non-negative")
+
+
+def validate_bench(doc: Any) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` is a valid bench export."""
+    doc = _require_mapping(doc, "bench document")
+    _require(doc.get("schema") == BENCH_SCHEMA, f"schema must be {BENCH_SCHEMA!r}")
+    for field in ("suite", "created_unix", "machine", "config", "cases"):
+        _require(field in doc, f"bench document is missing {field!r}")
+    _require(isinstance(doc["suite"], str) and doc["suite"], "suite must be a string")
+    _require(
+        isinstance(doc["created_unix"], int) and doc["created_unix"] >= 0,
+        "created_unix must be a non-negative integer",
+    )
+    machine = _require_mapping(doc["machine"], "machine")
+    for field in _BENCH_MACHINE_FIELDS:
+        _require(field in machine, f"machine is missing {field!r}")
+    config = _require_mapping(doc["config"], "config")
+    for field in ("warmup", "repeats", "mad_k"):
+        _require(field in config, f"config is missing {field!r}")
+    _require(
+        isinstance(config["repeats"], int) and config["repeats"] >= 1,
+        "config.repeats must be a positive integer",
+    )
+    cases = doc["cases"]
+    _require(isinstance(cases, list) and cases, "cases must be a non-empty list")
+    seen: set[str] = set()
+    for case in cases:
+        case = _require_mapping(case, "bench case")
+        for field in ("name", "suites", "params", "samples_s", "stats"):
+            _require(field in case, f"bench case is missing {field!r}")
+        name = case["name"]
+        _require(isinstance(name, str) and bool(name), "case name must be a string")
+        _require(name not in seen, f"duplicate bench case {name!r}")
+        seen.add(name)
+        _require(
+            isinstance(case["suites"], list)
+            and all(isinstance(s, str) for s in case["suites"]),
+            f"case {name!r}: suites must be a list of strings",
+        )
+        _require_mapping(case["params"], f"case {name!r} params")
+        samples = case["samples_s"]
+        _require(
+            isinstance(samples, list) and samples,
+            f"case {name!r}: samples_s must be a non-empty list",
+        )
+        for sample in samples:
+            _require_number(sample, f"case {name!r}: sample")
+        stats = _require_mapping(case["stats"], f"case {name!r} stats")
+        for field in _BENCH_STAT_FIELDS:
+            _require(field in stats, f"case {name!r}: stats missing {field!r}")
+            _require_number(stats[field], f"case {name!r}: stats[{field!r}]")
+        for field in ("n", "rejected"):
+            _require(field in stats, f"case {name!r}: stats missing {field!r}")
+            _require(
+                isinstance(stats[field], int) and stats[field] >= 0,
+                f"case {name!r}: stats[{field!r}] must be a non-negative integer",
+            )
+        _require(
+            stats["n"] >= 1,
+            f"case {name!r}: stats.n must be >= 1 (the median always survives)",
+        )
+        _require(
+            stats["n"] + stats["rejected"] == len(samples),
+            f"case {name!r}: kept + rejected must equal the sample count",
+        )
+        _require(
+            stats["min_s"] <= stats["median_s"] <= stats["max_s"],
+            f"case {name!r}: median must lie within [min, max]",
+        )

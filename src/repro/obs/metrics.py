@@ -16,6 +16,7 @@ stable for the JSON exporter (:mod:`repro.obs.export`).
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Any, Sequence
 
@@ -37,6 +38,25 @@ DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
 DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
     1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
 )
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    """A legal Prometheus metric name: prefixed, invalid chars to ``_``."""
+    sanitized = _PROM_INVALID.sub("_", name)
+    if prefix:
+        sanitized = f"{prefix}_{sanitized}"
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _prometheus_value(value: float) -> str:
+    """Shortest exact rendering: integers bare, floats via ``repr``."""
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
 
 
 class Counter:
@@ -176,6 +196,42 @@ class MetricsRegistry:
                 for n, h in sorted(self._histograms.items())
             },
         }
+
+    def to_prometheus(self, *, prefix: str = "repro") -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Metric names are sanitised (``.`` and other invalid characters
+        become ``_``) and prefixed; each metric is preceded by its
+        ``# TYPE`` line.  Histograms follow the Prometheus convention:
+        **cumulative** ``_bucket`` samples with inclusive ``le`` upper
+        bounds (closing with ``le="+Inf"``), plus ``_sum`` and
+        ``_count`` — the internal per-bucket counts are converted, not
+        re-observed.  Output is sorted by metric name within each kind,
+        so the exposition is deterministic for golden-file tests.
+        """
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            prom = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            prom = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prometheus_value(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            prom = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for boundary, bucket_count in zip(histogram.buckets, histogram.counts):
+                cumulative += bucket_count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prometheus_value(boundary)}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{prom}_sum {_prometheus_value(histogram.sum)}")
+            lines.append(f"{prom}_count {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,104 @@
+"""Edge cases of cross-shard trace assembly: ``merge_span_trees`` with
+zero / one / payload-less shards, and ``Tracer.adopt``."""
+
+import pytest
+
+from repro.obs.tracer import Span, Tracer, merge_span_trees
+
+
+def _shard_tree(pairs: float, elapsed: float = 0.002) -> Span:
+    root = Span("evaluate", tags={"engine": "indexed"})
+    root.count, root.elapsed_s, root.cpu_s = 1, elapsed, elapsed / 2
+    node = root.child("->")
+    node.count, node.elapsed_s = 1, elapsed / 2
+    node.add(pairs=pairs)
+    return root
+
+
+class TestMergeSpanTrees:
+    def test_zero_shards_raise(self):
+        with pytest.raises(ValueError, match="at least one root"):
+            merge_span_trees([])
+
+    def test_single_shard_is_a_faithful_copy(self):
+        original = _shard_tree(pairs=7.0)
+        merged = merge_span_trees([original])
+        assert merged is not original  # always a fresh tree
+        assert merged.label == original.label
+        assert merged.tags == original.tags
+        assert merged.count == original.count
+        assert merged.elapsed_s == original.elapsed_s
+        assert merged.cpu_s == original.cpu_s
+        assert [c.label for c in merged.children] == ["->"]
+        assert merged.children[0].metrics == {"pairs": 7.0}
+
+    def test_counters_sum_across_shards(self):
+        merged = merge_span_trees([_shard_tree(3.0), _shard_tree(5.0)])
+        assert merged.count == 2
+        assert merged.children[0].metrics["pairs"] == 8.0
+        assert merged.elapsed_s == pytest.approx(0.004)
+
+    def test_empty_payload_shard_merges_cleanly(self):
+        # a shard whose wids matched nothing: same structure, no metrics
+        empty = Span("evaluate")
+        empty.count = 1
+        empty.child("->").count = 1  # no .add() ever called
+        merged = merge_span_trees([_shard_tree(4.0), empty])
+        assert merged.children[0].metrics == {"pairs": 4.0}
+        assert merged.children[0].count == 2
+
+    def test_child_present_in_only_some_shards_survives(self):
+        wide = _shard_tree(2.0)
+        extra = wide.child("fallback-scan")
+        extra.count = 1
+        extra.add(pairs=9.0)
+        merged = merge_span_trees([wide, _shard_tree(1.0)])
+        labels = [c.label for c in merged.children]
+        assert labels == ["->", "fallback-scan"]
+        assert merged.children[1].metrics["pairs"] == 9.0
+
+    def test_childless_roots_merge_to_a_leaf(self):
+        a, b = Span("scan"), Span("scan")
+        a.count = b.count = 1
+        merged = merge_span_trees([a, b])
+        assert merged.children == [] and merged.count == 2
+
+    def test_tags_are_first_writer_wins(self):
+        first, second = _shard_tree(1.0), _shard_tree(1.0)
+        second.tags["engine"] = "naive"
+        second.tags["shard"] = 1
+        merged = merge_span_trees([first, second])
+        assert merged.tags["engine"] == "indexed"
+        assert merged.tags["shard"] == 1
+
+
+class TestAdopt:
+    def test_adopt_installs_a_completed_root(self):
+        tracer = Tracer()
+        root = _shard_tree(2.0)
+        assert tracer.adopt(root) is root
+        assert tracer.last_root is root
+        assert tracer.roots == [root]
+
+    def test_adopt_appends_after_recorded_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        adopted = tracer.adopt(_shard_tree(1.0))
+        assert [r.label for r in tracer.roots] == ["first", "evaluate"]
+        assert tracer.last_root is adopted
+
+    def test_adopt_with_open_span_raises(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with pytest.raises(RuntimeError, match="open"):
+                tracer.adopt(_shard_tree(1.0))
+        # the failed adopt must not have corrupted the stack
+        assert tracer.last_root is not None
+        assert tracer.last_root.label == "outer"
+
+    def test_reset_clears_adopted_roots(self):
+        tracer = Tracer()
+        tracer.adopt(_shard_tree(1.0))
+        tracer.reset()
+        assert tracer.roots == [] and tracer.last_root is None

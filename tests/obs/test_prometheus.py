@@ -1,0 +1,71 @@
+"""Prometheus text exposition of the metrics registry.
+
+The golden file pins the exact exposition of a known registry so any
+formatting drift (type lines, ``le`` labels, cumulative bucket sums,
+value rendering) shows up as a diff, not as a scrape failure in
+whatever collector the user points at ``query --metrics-format prom``.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+_SAMPLE = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? \S+$')
+
+
+def _known_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.pairs_examined").inc(42)
+    registry.counter("exec.shards_completed").inc(4)
+    registry.gauge("engine.max_live_incidents").set_max(7)
+    registry.gauge("exec.load_factor").set(0.5)
+    histogram = registry.histogram("monitor.observe_seconds", buckets=(0.001, 0.01, 0.1))
+    for value in (0.003, 0.02, 5.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestGoldenExposition:
+    def test_matches_golden_file(self):
+        assert _known_registry().to_prometheus() == GOLDEN.read_text(encoding="utf-8")
+
+    def test_golden_file_is_well_formed(self):
+        for line in GOLDEN.read_text(encoding="utf-8").strip().splitlines():
+            assert line.startswith("# TYPE ") or _SAMPLE.match(line), line
+
+
+class TestExpositionRules:
+    def test_histogram_buckets_are_cumulative_and_close_with_inf(self):
+        text = _known_registry().to_prometheus()
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(r'_bucket\{le="[^"]+"\} (\d+)', text)
+        ]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        assert '_bucket{le="+Inf"} 3' in text
+        assert "repro_monitor_observe_seconds_count 3" in text
+        assert "repro_monitor_observe_seconds_sum 5.023" in text
+
+    def test_every_metric_has_a_type_line(self):
+        text = _known_registry().to_prometheus()
+        assert "# TYPE repro_engine_pairs_examined counter" in text
+        assert "# TYPE repro_engine_max_live_incidents gauge" in text
+        assert "# TYPE repro_monitor_observe_seconds histogram" in text
+
+    def test_names_are_sanitised_and_prefixed(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.with spaces").inc()
+        text = registry.to_prometheus()
+        assert "repro_weird_name_with_spaces 1" in text
+        registry2 = MetricsRegistry()
+        registry2.counter("9starts.with.digit").inc()
+        assert "_9starts_with_digit" in registry2.to_prometheus(prefix="")
+
+    def test_integral_floats_render_bare_and_empty_registry_is_empty(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        assert "repro_g 3\n" in registry.to_prometheus()
+        assert MetricsRegistry().to_prometheus() == ""
