@@ -36,6 +36,7 @@ from repro.core import (  # noqa: E402
     Choice,
     Consecutive,
     Diagnostic,
+    EngineOptions,
     EvaluationError,
     Incident,
     IncidentSet,
@@ -62,11 +63,18 @@ from repro.core import (  # noqa: E402
     reference_incidents,
     sequential,
 )
+from repro.cache import CachePolicy, QueryCache  # noqa: E402
+from repro.logstore.store import LogStore  # noqa: E402
 
 __version__ = "1.0.0"
 
+#: The blessed public surface: build applications against these names.
 __all__ = [
     "__version__",
+    "EngineOptions",
+    "CachePolicy",
+    "QueryCache",
+    "LogStore",
     "ReproError",
     "LogValidationError",
     "PatternSyntaxError",

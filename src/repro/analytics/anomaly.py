@@ -20,6 +20,7 @@ from repro.core.incident import IncidentSet
 from repro.core.model import Log
 from repro.core.parser import parse
 from repro.core.pattern import Pattern
+from repro.core.options import EngineOptions
 from repro.core.query import Query
 
 __all__ = [
@@ -147,7 +148,7 @@ class RuleSet:
         """Evaluate every rule; returns the full report."""
         report = AnomalyReport()
         for rule in self._rules:
-            incidents = Query(rule.pattern, engine=engine).run(log)
+            incidents = Query(rule.pattern, EngineOptions(engine=engine)).run(log)
             report.findings.append(Finding(rule, incidents))
         return report
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 from repro.core.model import Log, LogRecord
 from repro.core.parser import parse
+from repro.core.options import EngineOptions
 from repro.core.query import Query
 
 __all__ = [
@@ -251,7 +252,7 @@ def not_succession(first: str, then: str) -> Constraint:
     """``then`` never occurs after a ``first`` — the pure incident-pattern
     template: it holds iff ``first ⊳ then`` has no witness."""
     pattern_text = f"{first} -> {then}"
-    query = Query(parse(pattern_text), optimize=False)
+    query = Query(parse(pattern_text), EngineOptions(optimize=False))
 
     def checker(trace: Sequence[LogRecord]) -> bool:
         a_positions = _positions(trace, first)

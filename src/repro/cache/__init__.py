@@ -1,0 +1,49 @@
+"""Memory-bounded query/subpattern caching (``repro.cache``).
+
+Two layers behind one :class:`QueryCache`:
+
+* a **result layer** for whole-query
+  :class:`~repro.core.incident.IncidentSet` results, keyed on the
+  normalized pattern, the log's epoch identity and the result-relevant
+  options;
+* a **memo layer** for per-``(wid, subpattern)`` intermediates, the
+  cross-call generalisation of the batch engine's shared-scan memo.
+
+Invalidation is epoch-based: append-only stores bump an epoch per
+record, snapshots are stamped with ``(lineage, epoch)``, and the memo
+layer exploits wid-locality so entries for instances untouched by later
+appends stay valid.  Both layers are LRU-evicted under configurable
+byte budgets (:class:`CachePolicy`), and all hit/miss/eviction activity
+is observable through :mod:`repro.obs`.
+
+See ``docs/CACHING.md`` for the full model.
+"""
+
+from repro.cache.lru import LruBytes
+from repro.cache.manager import (
+    CachedResult,
+    QueryCache,
+    get_default_cache,
+    reset_default_cache,
+    resolve_cache,
+)
+from repro.cache.policy import (
+    DEFAULT_MEMO_BUDGET,
+    DEFAULT_RESULT_BUDGET,
+    CachePolicy,
+)
+from repro.cache.sizing import incident_nbytes, incidents_nbytes
+
+__all__ = [
+    "CachePolicy",
+    "CachedResult",
+    "DEFAULT_MEMO_BUDGET",
+    "DEFAULT_RESULT_BUDGET",
+    "LruBytes",
+    "QueryCache",
+    "get_default_cache",
+    "incident_nbytes",
+    "incidents_nbytes",
+    "reset_default_cache",
+    "resolve_cache",
+]

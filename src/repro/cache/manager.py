@@ -1,0 +1,355 @@
+"""The two-layer query cache.
+
+:class:`QueryCache` owns both cache layers behind one lock:
+
+* the **result layer** maps ``(log identity, normalized pattern,
+  result-relevant options)`` to a finished, canonically ordered
+  :class:`~repro.core.incident.IncidentSet` (plus a detached copy of the
+  evaluation's :class:`~repro.core.eval.base.EvaluationStats` for
+  ``explain``);
+* the **memo layer** maps ``(memo scope, wid, wid record count,
+  subpattern)`` to the per-instance incident lists the indexed engine
+  computes node by node — the cross-call generalisation of the batch
+  engine's shared-scan memo.
+
+Log identity comes from the epoch counters threaded through
+:class:`~repro.core.model.Log` / :class:`~repro.logstore.store.LogStore`:
+a complete store snapshot is identified by ``(lineage, epoch)``; logs
+without store provenance fall back to a content fingerprint.  The memo
+layer drops the epoch and adds the per-instance record count instead —
+within one append-only lineage, an instance with the same record count
+has exactly the same records, so entries for instances untouched by
+later appends stay valid (the same wid-locality the shard planner
+relies on).
+
+Hit/miss/eviction counts mirror into an optional
+:class:`~repro.obs.metrics.MetricsRegistry` as the ``cache.*`` family
+(and from there into the Prometheus exposition); lookups can be traced
+as ``cache.result`` spans.  All public methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.logstore.store import LogStore as LogSource
+
+from repro.cache.lru import LruBytes
+from repro.cache.policy import CachePolicy
+from repro.cache.sizing import incidents_nbytes
+from repro.core.eval.base import EvaluationStats
+from repro.core.incident import Incident, IncidentSet
+from repro.core.model import Log
+from repro.core.algebra import canonicalize
+from repro.core.optimizer.rules import normalize
+from repro.core.pattern import Pattern
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "CachedResult",
+    "QueryCache",
+    "get_default_cache",
+    "reset_default_cache",
+    "resolve_cache",
+]
+
+#: Hashable identity of a whole log, see :meth:`QueryCache.log_identity`.
+LogIdentity = tuple[str, ...]
+
+#: Hashable identity of a memo scope, see :meth:`QueryCache.memo_scope`.
+MemoScope = tuple[str, ...]
+
+#: Full key of one result-layer entry.
+ResultKey = tuple[LogIdentity, Pattern, tuple[Any, ...]]
+
+#: Full key of one memo-layer entry.
+MemoKey = tuple[MemoScope, int, int, Pattern]
+
+
+def _detach_stats(stats: EvaluationStats | None) -> EvaluationStats | None:
+    """A registry-free copy safe to keep in (and hand out of) the cache."""
+    if stats is None:
+        return None
+    return EvaluationStats(
+        operator_evals=stats.operator_evals,
+        pairs_examined=stats.pairs_examined,
+        incidents_produced=stats.incidents_produced,
+        max_live_incidents=stats.max_live_incidents,
+        per_operator=dict(stats.per_operator),
+    )
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One result-layer hit: the incident set and a detached copy of the
+    stats recorded when it was computed (None for results stored without
+    stats)."""
+
+    incidents: IncidentSet
+    stats: EvaluationStats | None = field(default=None, compare=False)
+
+
+class QueryCache:
+    """Memory-bounded result + subpattern cache (see module docs).
+
+    Parameters
+    ----------
+    policy:
+        The :class:`~repro.cache.policy.CachePolicy` governing layers
+        and budgets; defaults to the all-on default policy.
+    metrics:
+        Optional registry receiving the ``cache.*`` counter/gauge
+        family.  Set at construction so every consumer of a shared cache
+        observes the same counters.
+    """
+
+    def __init__(
+        self,
+        policy: CachePolicy | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else CachePolicy()
+        self.metrics = metrics
+        self._lock = threading.RLock()
+        self._results: LruBytes[ResultKey, CachedResult] = LruBytes(
+            self.policy.result_budget_bytes
+        )
+        self._memo: LruBytes[MemoKey, tuple[Incident, ...]] = LruBytes(
+            self.policy.memo_budget_bytes
+        )
+
+    # -- key construction --------------------------------------------------
+
+    @staticmethod
+    def log_identity(log: "Log | LogSource") -> LogIdentity:
+        """Hashable whole-log identity for the result layer.
+
+        ``("lineage", <store id>, <epoch>)`` for complete store
+        snapshots and for live stores themselves (a store *is* its full
+        content) — append-only stores bump their epoch per record, so
+        this is exact and O(1).  Other logs use the (cached) content
+        fingerprint, which is always sound but costs one pass on first
+        use per :class:`Log` instance.
+        """
+        if log.lineage is not None and getattr(log, "is_snapshot", True):
+            return ("lineage", log.lineage, str(log.epoch))
+        return ("content", log.fingerprint)
+
+    @staticmethod
+    def memo_scope(log: "Log | LogSource") -> MemoScope:
+        """Hashable scope of the memo layer for ``log``.
+
+        Store-derived logs (snapshots, projections, shards) share one
+        scope per lineage: memo entries carry the per-instance record
+        count, which within an append-only lineage pins the exact
+        records — so serial runs, sharded runs and later snapshots all
+        hit the same entries for untouched instances.
+        """
+        if log.lineage is not None:
+            return ("lineage", log.lineage)
+        return ("content", log.fingerprint)
+
+    def result_key(
+        self,
+        log: "Log | LogSource",
+        pattern: Pattern,
+        *,
+        max_incidents: int | None = None,
+    ) -> ResultKey:
+        """The result-layer key for evaluating ``pattern`` over ``log``.
+
+        The pattern goes through the optimizer's shared
+        :func:`~repro.core.optimizer.rules.normalize` and then the
+        algebra's :func:`~repro.core.algebra.canonicalize`, so queries
+        equal under the paper's associativity/commutativity/interchange
+        laws (Theorems 2–4, plus choice idempotence) share one entry.
+        ``max_incidents`` participates because a budget changes
+        observable behaviour (a cached over-budget result must not mask
+        the error).
+        """
+        normalized, _ = normalize(pattern)
+        canonical = canonicalize(normalized)
+        return (self.log_identity(log), canonical, ("max_incidents", max_incidents))
+
+    # -- result layer ------------------------------------------------------
+
+    def get_result(
+        self,
+        key: ResultKey,
+        *,
+        tracer: Tracer | NullTracer = NULL_TRACER,
+    ) -> CachedResult | None:
+        """Result-layer lookup; None on miss.  Hits hand out a *fresh*
+        stats copy, so callers may mutate it freely."""
+        if not self.policy.caches_results:
+            return None
+        with tracer.span("cache.result", key=()) as span:
+            with self._lock:
+                cached = self._results.get(key)
+            span.add(hit=1 if cached is not None else 0)
+        self._publish()
+        if cached is None:
+            return None
+        return CachedResult(
+            incidents=cached.incidents, stats=_detach_stats(cached.stats)
+        )
+
+    def put_result(
+        self,
+        key: ResultKey,
+        incidents: IncidentSet,
+        stats: EvaluationStats | None = None,
+    ) -> bool:
+        """Store a finished result; returns False when rejected (larger
+        than the whole layer budget) or the layer is off."""
+        if not self.policy.caches_results:
+            return False
+        entry = CachedResult(incidents=incidents, stats=_detach_stats(stats))
+        nbytes = incidents_nbytes(incidents)
+        with self._lock:
+            stored = self._results.put(key, entry, nbytes)
+        self._publish()
+        return stored
+
+    # -- memo layer --------------------------------------------------------
+
+    def memo_get(
+        self, scope: MemoScope, wid: int, wid_count: int, pattern: Pattern
+    ) -> tuple[Incident, ...] | None:
+        """Per-(wid, subpattern) lookup; None on miss or when the memo
+        layer is off."""
+        if not self.policy.caches_memo:
+            return None
+        with self._lock:
+            return self._memo.get((scope, wid, wid_count, pattern))
+
+    def memo_put(
+        self,
+        scope: MemoScope,
+        wid: int,
+        wid_count: int,
+        pattern: Pattern,
+        incidents: tuple[Incident, ...],
+    ) -> bool:
+        """Store one per-(wid, subpattern) incident list."""
+        if not self.policy.caches_memo:
+            return False
+        nbytes = incidents_nbytes(incidents)
+        with self._lock:
+            stored = self._memo.put((scope, wid, wid_count, pattern), incidents, nbytes)
+        self._publish()
+        return stored
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot over both layers (for tests and the CLI)."""
+        with self._lock:
+            return {
+                "result_hits": self._results.hits,
+                "result_misses": self._results.misses,
+                "result_evictions": self._results.evictions,
+                "result_rejected": self._results.rejected,
+                "result_entries": len(self._results),
+                "result_bytes": self._results.total_bytes,
+                "memo_hits": self._memo.hits,
+                "memo_misses": self._memo.misses,
+                "memo_evictions": self._memo.evictions,
+                "memo_rejected": self._memo.rejected,
+                "memo_entries": len(self._memo),
+                "memo_bytes": self._memo.total_bytes,
+            }
+
+    def _publish(self) -> None:
+        """Mirror the layer counters into the bound registry.
+
+        Counters are monotone totals, so publishing sets them by
+        incrementing the registry counter up to the current value —
+        cheap (two dict lookups per metric) and idempotent.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        with self._lock:
+            snapshot = self.stats()
+        for name, value in snapshot.items():
+            metric_name = "cache." + name.replace("_", ".", 1)
+            if name.endswith(("entries", "bytes")):
+                registry.gauge(metric_name).set(value)
+            else:
+                counter = registry.counter(metric_name)
+                if value > counter.value:
+                    counter.inc(value - counter.value)
+
+    def clear(self) -> None:
+        """Drop all entries in both layers (counters survive)."""
+        with self._lock:
+            self._results.clear()
+            self._memo.clear()
+        self._publish()
+
+    def __repr__(self) -> str:
+        snapshot = self.stats()
+        return (
+            f"QueryCache(results={snapshot['result_entries']} entries/"
+            f"{snapshot['result_bytes']}B, memo={snapshot['memo_entries']} "
+            f"entries/{snapshot['memo_bytes']}B)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The process-wide shared cache and the facade's resolution rules.
+# ---------------------------------------------------------------------------
+
+_default_cache: QueryCache | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_cache() -> QueryCache:
+    """The process-wide shared :class:`QueryCache` (default policy),
+    created on first use.  ``Query(..., cache=True)`` and the CLI's
+    ``--cache`` resolve here, so separate queries share warm state."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = QueryCache()
+        return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Drop the shared cache (tests; a fresh one is created on demand)."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = None
+
+
+def resolve_cache(
+    setting: "QueryCache | CachePolicy | bool | None",
+) -> QueryCache | None:
+    """Resolve an :class:`~repro.core.options.EngineOptions` cache
+    setting to a live cache (or None for caching off).
+
+    * ``None`` / ``False`` — caching off;
+    * ``True`` — the process-wide shared cache, default policy;
+    * a :class:`CachePolicy` — a *private* cache under that policy
+      (disabled policies resolve to None);
+    * a :class:`QueryCache` — used as given (share one instance across
+      queries for cross-query hits).
+    """
+    if setting is None or setting is False:
+        return None
+    if setting is True:
+        return get_default_cache()
+    if isinstance(setting, CachePolicy):
+        return QueryCache(setting) if setting.enabled else None
+    if isinstance(setting, QueryCache):
+        return setting if setting.policy.enabled else None
+    raise TypeError(
+        f"cache must be a QueryCache, CachePolicy, bool or None, "
+        f"got {type(setting).__name__}"
+    )

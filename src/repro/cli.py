@@ -42,12 +42,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.analytics.anomaly import clinic_rules, loan_rules, order_rules
+from repro.cache import CachePolicy, QueryCache
 from repro.core.errors import ReproError
 from repro.core.lint import Linter, Severity, format_diagnostics
 from repro.core.model import Log
+from repro.core.options import EngineOptions
 from repro.core.parser import parse, parse_with_spans
 from repro.core.query import ENGINES, Query
 from repro.generator.synthetic import SyntheticLogConfig, generate_log
@@ -197,6 +200,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="report per-shard completion on stderr (parallel runs)",
+    )
+    query.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the in-process result/memo cache and report which "
+        "layer served the run (see docs/CACHING.md)",
+    )
+    query.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-layer cache byte budget (default 32 MiB per layer)",
+    )
+    query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate N times, timing each run on stderr — with --cache "
+        "the warm runs demonstrate the result layer",
     )
 
     profile = commands.add_parser(
@@ -354,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="abort if an incident set exceeds this size",
     )
+    batch.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve repeated patterns from the result cache and persist "
+        "subpattern memos across the batch (in-process backends)",
+    )
 
     lint = commands.add_parser(
         "lint", help="static diagnostics for a pattern (no evaluation)"
@@ -487,20 +517,43 @@ def _cmd_query(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace else None
     want_metrics = args.metrics or args.metrics_format != "json"
     registry = MetricsRegistry() if want_metrics else None
+    cache = None
+    if args.cache:
+        policy = CachePolicy()
+        if args.cache_bytes is not None:
+            policy = policy.with_budget(args.cache_bytes)
+        cache = QueryCache(policy, metrics=registry)
     query = Query(
         parsed.pattern,
-        engine=args.engine,
-        optimize=not args.no_optimize,
-        max_incidents=args.max_incidents,
-        tracer=tracer,
-        metrics=registry,
-        jobs=args.jobs,
-        parallel=args.backend,
-        progress=_shard_progress(sys.stderr) if args.progress else None,
+        EngineOptions(
+            engine=args.engine,
+            optimize=not args.no_optimize,
+            max_incidents=args.max_incidents,
+            tracer=tracer,
+            metrics=registry,
+            jobs=args.jobs,
+            backend=args.backend,
+            progress=_shard_progress(sys.stderr) if args.progress else None,
+            cache=cache,
+        ),
     )
     if args.explain:
         print(query.explain(log))
         print()
+
+    # warm-up repeats (timed on stderr); the final run produces the output
+    runs = max(1, args.repeat)
+    for attempt in range(1, runs):
+        started = time.perf_counter()
+        query.run(log)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        layer = query.last_cache_layer or "none"
+        print(
+            f"run {attempt}/{runs}: {elapsed_ms:.2f} ms  (cache: {layer})",
+            file=sys.stderr,
+        )
+
+    started = time.perf_counter()
     if args.mode == "exists":
         print("yes" if query.exists(log) else "no")
     elif args.mode == "count":
@@ -518,6 +571,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"l{r.lsn}:{r.activity}@{r.is_lsn}" for r in incident
             )
             print(f"  wid={incident.wid}  {{{members}}}")
+    if runs > 1:
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        layer = query.last_cache_layer or "none"
+        print(
+            f"run {runs}/{runs}: {elapsed_ms:.2f} ms  (cache: {layer})",
+            file=sys.stderr,
+        )
+    if args.cache:
+        print(f"cache: served by {query.last_cache_layer or 'none (cold)'}")
     if tracer is not None:
         print()
         print("trace:")
@@ -729,14 +791,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         backend=args.backend,
         max_incidents=args.max_incidents,
+        cache=QueryCache() if args.cache else None,
     )
     for text, incidents in zip(patterns, result.results):
         print(f"{len(incidents):6d}  {text}")
-    print(
+    summary = (
         f"--- {len(patterns)} query(ies), {result.stats.pairs_examined} pairs "
         f"examined, {result.shared_hits} shared subpattern hit(s), "
-        f"backend={result.backend}, jobs={result.jobs} ---"
+        f"backend={result.backend}, jobs={result.jobs}"
     )
+    if args.cache:
+        summary += f", {result.cache_hits} cached result(s)"
+    print(summary + " ---")
     return 0
 
 

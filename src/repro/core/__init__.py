@@ -28,9 +28,12 @@ from repro.core.pattern import (
     parallel,
     sequential,
 )
+from repro.core.options import BACKENDS, EngineOptions
 from repro.core.query import ENGINES, Query
 
 __all__ = [
+    "EngineOptions",
+    "BACKENDS",
     "ReproError",
     "LogValidationError",
     "PatternSyntaxError",

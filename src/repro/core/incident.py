@@ -208,6 +208,28 @@ class IncidentSet:
         """The underlying mathematical set."""
         return frozenset(self._incidents)
 
+    def to_rows(self) -> list[dict[str, object]]:
+        """The incidents as plain dict rows, in canonical order.
+
+        This is the stable tabular surface for downstream consumers
+        (dataframes, JSON serialisation, the CLI): one row per incident
+        with keys ``wid``, ``first``, ``last``, ``lsns`` (sorted tuple of
+        global record lsns — the incident's identity) and ``activities``
+        (names in execution order).  Row order is the canonical incident
+        order (ascending :attr:`Incident.sort_key`), so equal incident
+        sets serialise identically byte for byte.
+        """
+        return [
+            {
+                "wid": o.wid,
+                "first": o.first,
+                "last": o.last,
+                "lsns": tuple(sorted(o.lsns)),
+                "activities": o.activities(),
+            }
+            for o in self._incidents
+        ]
+
     def by_wid(self) -> dict[int, list[Incident]]:
         """Incidents grouped per workflow instance."""
         grouped: dict[int, list[Incident]] = {}

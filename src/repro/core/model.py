@@ -255,11 +255,32 @@ class Log:
     ['START', 'GetRefer', 'CheckIn']
     """
 
-    __slots__ = ("_records", "_by_wid", "_by_activity", "_by_lsn")
+    __slots__ = (
+        "_records",
+        "_by_wid",
+        "_by_activity",
+        "_by_lsn",
+        "_epoch",
+        "_lineage",
+        "_is_snapshot",
+        "_fingerprint",
+    )
 
-    def __init__(self, records: Iterable[LogRecord], *, validate: bool = True):
+    def __init__(
+        self,
+        records: Iterable[LogRecord],
+        *,
+        validate: bool = True,
+        epoch: int = 0,
+        lineage: str | None = None,
+        snapshot: bool = False,
+    ):
         recs = sorted(records, key=lambda r: r.lsn)
         self._records: tuple[LogRecord, ...] = tuple(recs)
+        self._epoch = epoch
+        self._lineage = lineage
+        self._is_snapshot = snapshot
+        self._fingerprint: str | None = None
         if validate:
             _validate_records(self._records)
         by_wid: dict[int, list[LogRecord]] = {}
@@ -411,6 +432,56 @@ class Log:
         """The set of activity names occurring in the log."""
         return frozenset(self._by_activity)
 
+    # -- provenance (cache invalidation, see repro.cache) -------------------
+
+    @property
+    def epoch(self) -> int:
+        """Append epoch of the originating store at snapshot time.
+
+        Stores bump their epoch on every appended record; a snapshot
+        carries the epoch it was taken at, so two snapshots of one store
+        are content-identical iff their ``(lineage, epoch)`` pairs match.
+        Logs built directly (``from_traces``, file loaders) stay at 0.
+        """
+        return self._epoch
+
+    @property
+    def lineage(self) -> str | None:
+        """Identity token of the originating append-only store, or None
+        for logs without store provenance.  Within one lineage, records
+        are never mutated or removed — the invariant the
+        :mod:`repro.cache` subpattern memo relies on to keep entries for
+        untouched instances valid across appends."""
+        return self._lineage
+
+    @property
+    def is_snapshot(self) -> bool:
+        """Whether this log is a *complete* store snapshot (as opposed to
+        a projection/shard), making ``(lineage, epoch)`` a sound
+        whole-log cache identity."""
+        return self._is_snapshot
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the log, computed lazily and cached.
+
+        Used as the whole-log cache identity when no store lineage is
+        available.  Covers every identity column and both attribute maps
+        of every record.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            for r in self._records:
+                digest.update(
+                    f"{r.lsn}|{r.wid}|{r.is_lsn}|{r.activity}|"
+                    f"{sorted(r.attrs_in.items())!r}|"
+                    f"{sorted(r.attrs_out.items())!r}\n".encode()
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def record(self, lsn_value: int) -> LogRecord:
         """The record with log sequence number ``lsn_value``.
 
@@ -446,7 +517,13 @@ class Log:
         sharding relies on.
         """
         keep = set(wids)
-        return Log((r for r in self._records if r.wid in keep), validate=False)
+        return Log(
+            (r for r in self._records if r.wid in keep),
+            validate=False,
+            epoch=self._epoch,
+            lineage=self._lineage,
+            snapshot=False,
+        )
 
     def restrict_to(self, wids: Iterable[int]) -> "Log":
         """A new log containing only the given instances, with lsn values

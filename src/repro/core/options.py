@@ -1,0 +1,132 @@
+"""One immutable options object for the query facade.
+
+:class:`EngineOptions` consolidates the per-query knobs that used to
+sprawl across ``Query.__init__`` keyword arguments (engine, optimize,
+max_incidents, tracer, metrics, jobs, parallel, progress) plus the cache
+policy into a single frozen dataclass.  One options value fully
+determines how a query executes, can be shared between queries, and
+travels unchanged into the parallel executor and the CLI::
+
+    from repro import EngineOptions, Query
+
+    opts = EngineOptions(jobs=4, backend="process", cache=True)
+    q = Query("UpdateRefer -> GetReimburse", opts)
+
+The legacy keyword arguments still work on :class:`~repro.core.query.Query`
+through a :class:`DeprecationWarning` shim; see ``README.md`` for the
+migration snippet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.manager import QueryCache
+    from repro.cache.policy import CachePolicy
+    from repro.core.eval.base import Engine
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+__all__ = ["EngineOptions", "BACKENDS"]
+
+#: Execution backends accepted by :attr:`EngineOptions.backend`.
+BACKENDS: tuple[str, ...] = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How a query executes: engine, optimizer, parallelism, caching and
+    observability, as one immutable value.
+
+    Attributes
+    ----------
+    engine:
+        Engine name (``"naive"``/``"indexed"``), an
+        :class:`~repro.core.eval.base.Engine` instance, or None for the
+        default indexed engine.
+    optimize:
+        Rewrite the pattern per log with the cost-based optimizer before
+        evaluation (default True).
+    max_incidents:
+        Optional cap on materialised incident-set sizes
+        (:class:`~repro.core.errors.BudgetExceededError` past it).
+    tracer / metrics:
+        Observability hooks (:mod:`repro.obs`) forwarded to the engine,
+        the parallel executor and the cache.
+    jobs:
+        Worker count for sharded parallel evaluation; None keeps the
+        query serial unless ``backend`` is set (then one worker per CPU).
+    backend:
+        Parallel execution backend — one of :data:`BACKENDS`; None means
+        serial evaluation (``"auto"`` when only ``jobs`` is given).
+        Replaces the legacy ``parallel=`` keyword.
+    strategy:
+        Shard-partitioning strategy for parallel runs (``"hash"`` or
+        ``"range"``).
+    progress:
+        Optional ``progress(done, total)`` callback fired per completed
+        shard on parallel runs.
+    cache:
+        Caching behaviour: None/False — off; True — the process-wide
+        shared :func:`~repro.cache.manager.get_default_cache`; a
+        :class:`~repro.cache.policy.CachePolicy` — a private cache under
+        that policy; a :class:`~repro.cache.manager.QueryCache` — that
+        cache, shared with whoever else holds it.  See
+        ``docs/CACHING.md``.
+    """
+
+    engine: "str | Engine | None" = None
+    optimize: bool = True
+    max_incidents: int | None = None
+    tracer: "Tracer | None" = field(default=None, compare=False)
+    metrics: "MetricsRegistry | None" = field(default=None, compare=False)
+    jobs: int | None = None
+    backend: str | None = None
+    strategy: str = "hash"
+    progress: Callable[[int, int], None] | None = field(
+        default=None, compare=False
+    )
+    cache: "QueryCache | CachePolicy | bool | None" = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {self.backend!r}; available: {BACKENDS}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {self.jobs}")
+        if self.strategy not in ("hash", "range"):
+            raise ReproError(
+                f"unknown shard strategy {self.strategy!r}; "
+                f"available: ('hash', 'range')"
+            )
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether these options route evaluation through the sharded
+        parallel executor."""
+        return self.jobs is not None or self.backend is not None
+
+    def replace(self, **changes: Any) -> "EngineOptions":
+        """A copy with the given fields changed (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def __repr__(self) -> str:
+        shown = []
+        for name in (
+            "engine",
+            "max_incidents",
+            "jobs",
+            "backend",
+            "cache",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                shown.append(f"{name}={value!r}")
+        if not self.optimize:
+            shown.append("optimize=False")
+        return f"EngineOptions({', '.join(shown)})"

@@ -1,9 +1,9 @@
 """High-level query API.
 
-:class:`Query` bundles pattern, engine and optimizer behind the interface a
-downstream application uses::
+:class:`Query` bundles pattern, engine, optimizer, cache and executor
+behind the interface a downstream application uses::
 
-    from repro import Query, Log
+    from repro import EngineOptions, Query
 
     q = Query("UpdateRefer -> GetReimburse")
     result = q.run(log)              # IncidentSet
@@ -11,11 +11,21 @@ downstream application uses::
     q.count(log)                     # number of incidents
     print(q.explain(log))            # chosen plan + cost estimates
 
-Engines are pluggable by name (``"naive"``, ``"indexed"``) or instance;
-optimization can be disabled per query for A/B benchmarking.
+Execution behaviour is configured with one immutable
+:class:`~repro.core.options.EngineOptions` value::
+
+    q = Query(pattern, EngineOptions(jobs=4, cache=True))
+
+The pre-redesign keyword arguments (``engine=``, ``optimize=``,
+``max_incidents=``, ``tracer=``, ``metrics=``, ``jobs=``, ``parallel=``,
+``progress=``) still work but emit a :class:`DeprecationWarning`; they
+are assembled into an equivalent ``EngineOptions`` internally.
 """
 
 from __future__ import annotations
+
+import warnings
+from typing import Any
 
 from repro.core.errors import ReproError
 from repro.core.eval.base import Engine
@@ -25,8 +35,10 @@ from repro.core.eval.tree import render_tree
 from repro.core.incident import IncidentSet
 from repro.core.model import Log
 from repro.core.optimizer.planner import OptimizedPlan, Optimizer
+from repro.core.options import EngineOptions
 from repro.core.parser import parse
 from repro.core.pattern import Pattern
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["Query", "ENGINES"]
 
@@ -34,6 +46,21 @@ __all__ = ["Query", "ENGINES"]
 ENGINES: dict[str, type[Engine]] = {
     NaiveEngine.name: NaiveEngine,
     IndexedEngine.name: IndexedEngine,
+}
+
+#: Sentinel distinguishing "not passed" from an explicit None.
+_UNSET: Any = object()
+
+#: Legacy Query keyword arguments and the EngineOptions field each maps to.
+_LEGACY_FIELDS = {
+    "engine": "engine",
+    "optimize": "optimize",
+    "max_incidents": "max_incidents",
+    "tracer": "tracer",
+    "metrics": "metrics",
+    "jobs": "jobs",
+    "parallel": "backend",
+    "progress": "progress",
 }
 
 
@@ -67,69 +94,141 @@ class Query:
     pattern:
         A :class:`~repro.core.pattern.Pattern` or a textual expression in
         the query syntax of :mod:`repro.core.parser`.
+    options:
+        An :class:`~repro.core.options.EngineOptions` value; None for the
+        defaults (indexed engine, optimizer on, serial, no cache).
+    **legacy:
+        The pre-``EngineOptions`` keyword arguments, accepted with a
+        :class:`DeprecationWarning` and merged into ``options``
+        (``parallel=`` maps to ``EngineOptions.backend``).  Passing both
+        ``options`` and a legacy keyword is an error.
+
+    Attributes
+    ----------
+    options:
+        The resolved :class:`~repro.core.options.EngineOptions`.
     engine:
-        Engine name (``"naive"``/``"indexed"``), engine instance, or None
-        for the default indexed engine.
-    optimize:
-        When True (default) the pattern is rewritten per log by the
-        cost-based optimizer before evaluation.
-    max_incidents:
-        Optional cap on materialised incidents (see
-        :class:`~repro.core.eval.base.Engine`).
-    tracer / metrics:
-        Optional observability hooks forwarded to the engine when it is
-        constructed here (ignored when an engine *instance* is passed —
-        configure that engine directly).  See :mod:`repro.obs`.
-    jobs:
-        Worker count for parallel evaluation.  Setting it routes
-        :meth:`run` and :meth:`count` through the sharded
-        :class:`~repro.exec.parallel.ParallelExecutor`; results are
-        byte-for-byte identical to serial evaluation (see
-        ``docs/PARALLELISM.md``).
-    parallel:
-        Execution backend for the parallel path: ``"auto"`` (default when
-        only ``jobs`` is given — a cost model keeps cheap queries
-        serial), ``"serial"``, ``"thread"`` or ``"process"``.  Setting it
-        without ``jobs`` uses one worker per CPU.
-    progress:
-        Optional ``progress(done, total)`` callback fired per completed
-        shard on parallel runs (see
-        :class:`~repro.exec.parallel.ParallelExecutor`); ignored on
-        serial evaluation, which has no shards to report.
+        The live :class:`~repro.core.eval.base.Engine`.  With the memo
+        cache layer active, serial execution, and a default/indexed
+        engine, this is a memo-backed shared-scan engine whose
+        per-``(wid, subpattern)`` results persist across runs (see
+        ``docs/CACHING.md``).  Parallel runs use the result layer only:
+        workers rebuild engines by name per shard.
+    cache:
+        The resolved :class:`~repro.cache.manager.QueryCache`, or None
+        when caching is off.
+    last_cache_layer:
+        Which cache layer served the most recent :meth:`run` —
+        ``"result"``, ``"memo"`` or None (cold).  Reported by
+        :meth:`explain` and the CLI.
     """
 
     def __init__(
         self,
         pattern: Pattern | str,
+        options: EngineOptions | None = None,
         *,
-        engine: str | Engine | None = None,
-        optimize: bool = True,
-        max_incidents: int | None = None,
-        tracer=None,
-        metrics=None,
-        jobs: int | None = None,
-        parallel: str | None = None,
-        progress=None,
+        engine: str | Engine | None = _UNSET,
+        optimize: bool = _UNSET,
+        max_incidents: int | None = _UNSET,
+        tracer=_UNSET,
+        metrics=_UNSET,
+        jobs: int | None = _UNSET,
+        parallel: str | None = _UNSET,
+        progress=_UNSET,
     ):
         if isinstance(pattern, str):
             pattern = parse(pattern)
         if not isinstance(pattern, Pattern):
             raise TypeError(f"expected Pattern or str, got {type(pattern).__name__}")
         self.pattern = pattern
-        self.engine = _resolve_engine(engine, max_incidents, tracer, metrics)
-        self.optimize = optimize
-        self.jobs = jobs
-        self.parallel = parallel
-        self.progress = progress
-        self._tracer = tracer
-        self._metrics = metrics
+
+        legacy = {
+            name: value
+            for name, value in (
+                ("engine", engine),
+                ("optimize", optimize),
+                ("max_incidents", max_incidents),
+                ("tracer", tracer),
+                ("metrics", metrics),
+                ("jobs", jobs),
+                ("parallel", parallel),
+                ("progress", progress),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if options is not None:
+                raise TypeError(
+                    "pass either an EngineOptions or the legacy keyword "
+                    f"arguments, not both (got options and {sorted(legacy)})"
+                )
+            warnings.warn(
+                f"Query keyword arguments {sorted(legacy)} are deprecated; "
+                "pass an EngineOptions instead, e.g. "
+                "Query(pattern, EngineOptions(jobs=4)) — note parallel= "
+                "is now EngineOptions.backend",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = EngineOptions(
+                **{_LEGACY_FIELDS[name]: value for name, value in legacy.items()}
+            )
+        self.options = options if options is not None else EngineOptions()
+
+        from repro.cache.manager import resolve_cache
+
+        self.cache = resolve_cache(self.options.cache)
+        self.engine = self._build_engine()
+        self.last_cache_layer: str | None = None
         self._last_plan: OptimizedPlan | None = None
+
+    def _build_engine(self) -> Engine:
+        opts = self.options
+        if (
+            self.cache is not None
+            and self.cache.policy.caches_memo
+            and not opts.is_parallel
+            and (opts.engine is None or opts.engine == IndexedEngine.name)
+        ):
+            # memo-backed indexed engine: per-(wid, subpattern) results
+            # persist in the shared cache across runs and across queries
+            from repro.exec.batch import SharedScanEngine
+
+            return SharedScanEngine(
+                max_incidents=opts.max_incidents,
+                tracer=opts.tracer,
+                metrics=opts.metrics,
+                cache=self.cache,
+            )
+        return _resolve_engine(
+            opts.engine, opts.max_incidents, opts.tracer, opts.metrics
+        )
+
+    # -- legacy attribute surface ------------------------------------------
+
+    @property
+    def optimize(self) -> bool:
+        return self.options.optimize
+
+    @property
+    def jobs(self) -> int | None:
+        return self.options.jobs
+
+    @property
+    def parallel(self) -> str | None:
+        """Legacy alias of :attr:`EngineOptions.backend`."""
+        return self.options.backend
+
+    @property
+    def progress(self):
+        return self.options.progress
 
     # -- execution -------------------------------------------------------
 
     def plan(self, log: Log) -> OptimizedPlan:
         """The (possibly identity) plan chosen for ``log``."""
-        if self.optimize:
+        if self.options.optimize:
             plan = Optimizer.for_log(log).optimize(self.pattern)
         else:
             plan = OptimizedPlan(
@@ -146,39 +245,87 @@ class Query:
     def is_parallel(self) -> bool:
         """Whether :meth:`run`/:meth:`count` go through the sharded
         parallel executor."""
-        return self.jobs is not None or self.parallel is not None
+        return self.options.is_parallel
 
     def _executor(self):
         """Build the parallel executor for this query's configuration
-        (imported lazily — :mod:`repro.exec` is optional machinery)."""
+        (imported lazily — :mod:`repro.exec` is optional machinery).
+
+        The executor runs cache-less: the result layer is consulted and
+        filled here in :meth:`run`, under the key of the *original*
+        pattern (the executor only ever sees the optimized one)."""
         from repro.exec.parallel import ParallelExecutor
 
-        tracer = self._tracer
+        opts = self.options
+        tracer = opts.tracer
         if tracer is None and getattr(self.engine.tracer, "enabled", False):
             tracer = self.engine.tracer
         return ParallelExecutor(
-            jobs=self.jobs,
-            backend=self.parallel if self.parallel is not None else "auto",
+            jobs=opts.jobs,
+            backend=opts.backend if opts.backend is not None else "auto",
+            strategy=opts.strategy,
             engine=self.engine,
             tracer=tracer,
-            metrics=self._metrics,
-            progress=self.progress,
+            metrics=opts.metrics,
+            progress=opts.progress,
         )
 
+    def _result_key(self, log: Log):
+        """The result-layer key for this query over ``log``, or None when
+        the result layer is off.  Keyed on the *original* pattern: the
+        cost-based plan may differ per log, but the result it computes
+        does not (that is the optimizer's correctness contract)."""
+        if self.cache is None or not self.cache.policy.caches_results:
+            return None
+        return self.cache.result_key(
+            log, self.pattern, max_incidents=self.options.max_incidents
+        )
+
+    def _cached_result(self, key):
+        if key is None:
+            return None
+        tracer = self.options.tracer if self.options.tracer is not None else NULL_TRACER
+        return self.cache.get_result(key, tracer=tracer)
+
     def run(self, log: Log) -> IncidentSet:
-        """Evaluate the query, returning the full incident set."""
+        """Evaluate the query, returning the full incident set.
+
+        With caching on, a warm result-layer hit returns before the
+        optimizer even plans; a cold run is evaluated, stored, and
+        reported through :attr:`last_cache_layer`.
+        """
+        self.last_cache_layer = None
+        key = self._result_key(log)
+        hit = self._cached_result(key)
+        if hit is not None:
+            self.last_cache_layer = "result"
+            self.engine.last_stats = hit.stats
+            return hit.incidents
+
         optimized = self.plan(log).optimized
         if self.is_parallel:
-            result = self._executor().evaluate(log, optimized)
-            self.engine.last_stats = result.stats
-            assert result.incidents is not None
-            return result.incidents
-        return self.engine.evaluate(log, optimized)
+            outcome = self._executor().evaluate(log, optimized)
+            self.engine.last_stats = outcome.stats
+            assert outcome.incidents is not None
+            result = outcome.incidents
+        else:
+            memo_before = getattr(self.engine, "memo_hits", 0)
+            result = self.engine.evaluate(log, optimized)
+            if getattr(self.engine, "memo_hits", 0) > memo_before:
+                self.last_cache_layer = "memo"
+        if key is not None:
+            self.cache.put_result(key, result, self.engine.last_stats)
+        return result
 
     def exists(self, log: Log) -> bool:
         """Whether at least one incident exists (short-circuits when the
         engine supports it).  Always serial: the greedy short-circuit
         scan typically finishes before a worker pool even starts."""
+        hit = self._cached_result(self._result_key(log))
+        if hit is not None:
+            self.last_cache_layer = "result"
+            return bool(hit.incidents)
+        self.last_cache_layer = None
         return self.engine.exists(log, self.plan(log).optimized)
 
     def count(self, log: Log) -> int:
@@ -186,7 +333,12 @@ class Query:
 
         Delegates to the engine, which may use the output-free counting
         DP for ⊙/⊳ chains instead of materialising the incident set.
-        With ``jobs``/``parallel`` set, per-shard counts are summed."""
+        With ``jobs``/``backend`` set, per-shard counts are summed."""
+        hit = self._cached_result(self._result_key(log))
+        if hit is not None:
+            self.last_cache_layer = "result"
+            return len(hit.incidents)
+        self.last_cache_layer = None
         optimized = self.plan(log).optimized
         if self.is_parallel:
             return self._executor().count(log, optimized)
@@ -214,16 +366,19 @@ class Query:
 
     def explain(self, log: Log) -> str:
         """Human-readable execution plan for ``log``: the incident tree of
-        the optimized pattern plus cost estimates."""
+        the optimized pattern, cost estimates, and — after a cached run —
+        which cache layer served it."""
         plan = self.plan(log)
-        return "\n".join(
-            [
-                plan.explain(),
-                "incident tree:",
-                render_tree(plan.optimized),
-                f"engine: {self.engine.name}",
-            ]
-        )
+        lines = [
+            plan.explain(),
+            "incident tree:",
+            render_tree(plan.optimized),
+            f"engine: {self.engine.name}",
+        ]
+        if self.cache is not None:
+            served = self.last_cache_layer or "none (cold)"
+            lines.append(f"cache: {served}")
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return f"Query({str(self.pattern)!r}, engine={self.engine.name})"

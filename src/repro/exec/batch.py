@@ -50,20 +50,60 @@ class SharedScanEngine(IndexedEngine):
     frozen dataclasses, so structurally equal subpatterns — within one
     pattern or across successive :meth:`evaluate` calls on the same log —
     hit the same entry.  ``shared_hits`` counts the node evaluations the
-    cache elided; every hit skips its subtree's scans and joins entirely,
-    which is where the batch pairs saving comes from.
+    in-run memo elided; every hit skips its subtree's scans and joins
+    entirely, which is where the batch pairs saving comes from.
 
-    The cache keys contain no log identity: one engine instance must only
-    ever be used against one log.  :func:`evaluate_batch` creates a fresh
-    engine per shard, which enforces this.
+    The local memo keys contain no log identity, so it is dropped
+    whenever the engine is pointed at a different :class:`Log` object.
+    With a :class:`~repro.cache.manager.QueryCache` attached, node
+    results are *additionally* written through to its persistent memo
+    layer under ``(memo scope, wid, wid record count, subpattern)`` —
+    those entries survive across engine instances, across runs, and
+    across snapshots of one store lineage for instances untouched by
+    later appends (``memo_hits`` counts lookups served from there).  The
+    engine's ``max_incidents`` budget participates in the scope, so
+    entries computed under one cap never mask the budget error a
+    stricter cap would have raised.
     """
 
     name = "shared-scan"
 
-    def __init__(self, **kwargs):
+    def __init__(self, *, cache=None, **kwargs):
         super().__init__(**kwargs)
         self._cache: dict[tuple[int, Pattern], list[Incident]] = {}
         self.shared_hits = 0
+        self.memo_hits = 0
+        self._shared_cache = cache
+        self._memo_scope: tuple[str, ...] | None = None
+        self._bound_log: Log | None = None
+
+    def _bind(self, log: Log) -> None:
+        """Point the engine at ``log``: the local memo is only valid for
+        one log object, the persistent scope is derived per log."""
+        if log is self._bound_log:
+            return
+        self._cache.clear()
+        self._bound_log = log
+        cache = self._shared_cache
+        if cache is not None and cache.policy.caches_memo:
+            self._memo_scope = cache.memo_scope(log) + (
+                "budget",
+                str(self.max_incidents),
+            )
+        else:
+            self._memo_scope = None
+
+    def evaluate(self, log, pattern):
+        self._bind(log)
+        return super().evaluate(log, pattern)
+
+    def exists(self, log, pattern):
+        self._bind(log)
+        return super().exists(log, pattern)
+
+    def count(self, log, pattern):
+        self._bind(log)
+        return super().count(log, pattern)
 
     def _eval_node(self, log, wid, pattern, stats, key="root"):
         cache_key = (wid, pattern)
@@ -71,8 +111,22 @@ class SharedScanEngine(IndexedEngine):
         if cached is not None:
             self.shared_hits += 1
             return cached
+        scope = self._memo_scope
+        if scope is not None:
+            persisted = self._shared_cache.memo_get(
+                scope, wid, len(log.instance(wid)), pattern
+            )
+            if persisted is not None:
+                self.memo_hits += 1
+                result = list(persisted)
+                self._cache[cache_key] = result
+                return result
         result = super()._eval_node(log, wid, pattern, stats, key)
         self._cache[cache_key] = result
+        if scope is not None:
+            self._shared_cache.memo_put(
+                scope, wid, len(log.instance(wid)), pattern, tuple(result)
+            )
         return result
 
 
@@ -91,6 +145,7 @@ class BatchResult:
     shared_hits: int
     backend: str
     jobs: int
+    cache_hits: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -107,12 +162,19 @@ class BatchResult:
 
 @dataclass(frozen=True)
 class _BatchShardTask:
-    """Picklable work unit: all patterns over one shard."""
+    """Work unit: all patterns over one shard.
+
+    ``cache`` carries the shared :class:`~repro.cache.manager.QueryCache`
+    for in-process backends only — a live cache cannot cross a process
+    boundary, so process-pool tasks always ship with ``cache=None``
+    (which also keeps the task picklable).
+    """
 
     shard_index: int
     log: Log
     patterns: tuple[Pattern, ...]
     max_incidents: int | None = None
+    cache: object | None = None
 
 
 @dataclass(frozen=True)
@@ -125,7 +187,7 @@ class _BatchShardOutcome:
 
 def evaluate_batch_shard(task: _BatchShardTask) -> _BatchShardOutcome:
     """Shared-scan all patterns over one shard (module-level for pickling)."""
-    engine = SharedScanEngine(max_incidents=task.max_incidents)
+    engine = SharedScanEngine(max_incidents=task.max_incidents, cache=task.cache)
     per_query: list[tuple[Incident, ...]] = []
     stats = EvaluationStats()
     for pattern in task.patterns:
@@ -151,6 +213,7 @@ def evaluate_batch(
     max_incidents: int | None = None,
     tracer: Tracer | NullTracer | None = None,
     metrics: MetricsRegistry | None = None,
+    cache=None,
 ) -> BatchResult:
     """Evaluate N queries over one log with shared subpattern scans.
 
@@ -167,7 +230,18 @@ def evaluate_batch(
         shared scan.  With ``jobs > 1`` and a pool backend, each shard
         runs its own shared scan and per-query results merge across
         shards in the canonical incident order.
+    cache:
+        Optional :class:`~repro.cache.manager.QueryCache` (or any value
+        :func:`~repro.cache.manager.resolve_cache` accepts).  Queries
+        whose result is already cached skip evaluation entirely
+        (``cache_hits`` on the returned batch counts them); cold queries
+        are evaluated and stored, and — on in-process backends — the
+        shared-scan engines write through to the persistent memo layer,
+        so hits survive across ``evaluate_batch`` calls.
     """
+    from repro.cache.manager import resolve_cache
+
+    live_cache = resolve_cache(cache)
     resolved: list[Pattern] = []
     for pattern in patterns:
         if isinstance(pattern, str):
@@ -178,51 +252,82 @@ def evaluate_batch(
     if not resolved:
         raise ValueError("evaluate_batch needs at least one pattern")
 
+    # result-layer pre-pass: finished queries never reach the shard scan
+    final: list[IncidentSet | None] = [None] * len(resolved)
+    keys: list[object | None] = [None] * len(resolved)
+    cache_hits = 0
+    if live_cache is not None and live_cache.policy.caches_results:
+        for index, pattern in enumerate(resolved):
+            key = live_cache.result_key(
+                log, pattern, max_incidents=max_incidents
+            )
+            keys[index] = key
+            hit = live_cache.get_result(key)
+            if hit is not None:
+                final[index] = hit.incidents
+                cache_hits += 1
+    pending = [i for i in range(len(resolved)) if final[i] is None]
+
     backend_name = "serial" if jobs <= 1 else backend
     n_shards = 1 if backend_name == "serial" else max(1, jobs * 2)
-    if len(log) == 0 or n_shards == 1:
-        shard_logs = [log]
-    else:
-        shard_logs = [shard.log for shard in plan_shards(log, n_shards, strategy=strategy)]
-
-    tasks = [
-        _BatchShardTask(
-            shard_index=index,
-            log=shard_log,
-            patterns=tuple(resolved),
-            max_incidents=max_incidents,
-        )
-        for index, shard_log in enumerate(shard_logs)
-    ]
-
-    trc = tracer if tracer is not None else NULL_TRACER
-    with trc.span("batch", key=()) as span:
-        with make_backend(backend_name, jobs) as runner:
-            outcomes = runner.run(evaluate_batch_shard, tasks)
-
     merged_stats = EvaluationStats(registry=metrics)
     shared_hits = 0
-    per_query: list[list[Incident]] = [[] for _ in resolved]
-    for outcome in outcomes:
-        merged_stats.merge(outcome.stats)
-        shared_hits += outcome.shared_hits
-        for index, incidents in enumerate(outcome.per_query):
-            per_query[index].extend(incidents)
-    merged_stats.publish()
-    if metrics is not None:
-        metrics.counter("exec.batch_shared_hits").inc(shared_hits)
-    span.add(
-        queries=len(resolved),
-        shards=len(tasks),
-        shared_hits=shared_hits,
-        pairs=merged_stats.pairs_examined,
-    )
+    trc = tracer if tracer is not None else NULL_TRACER
+    with trc.span("batch", key=()) as span:
+        if pending:
+            if len(log) == 0 or n_shards == 1:
+                shard_logs = [log]
+            else:
+                shard_logs = [
+                    shard.log
+                    for shard in plan_shards(log, n_shards, strategy=strategy)
+                ]
+            # a live cache cannot cross a process boundary; in-process
+            # backends share it so the memo layer fills/serves
+            task_cache = live_cache if backend_name != "process" else None
+            tasks = [
+                _BatchShardTask(
+                    shard_index=index,
+                    log=shard_log,
+                    patterns=tuple(resolved[i] for i in pending),
+                    max_incidents=max_incidents,
+                    cache=task_cache,
+                )
+                for index, shard_log in enumerate(shard_logs)
+            ]
+            with make_backend(backend_name, jobs) as runner:
+                outcomes = runner.run(evaluate_batch_shard, tasks)
 
+            per_query: list[list[Incident]] = [[] for _ in pending]
+            for outcome in outcomes:
+                merged_stats.merge(outcome.stats)
+                shared_hits += outcome.shared_hits
+                for position, incidents in enumerate(outcome.per_query):
+                    per_query[position].extend(incidents)
+            for position, index in enumerate(pending):
+                incident_set = IncidentSet(per_query[position])
+                final[index] = incident_set
+                if keys[index] is not None:
+                    live_cache.put_result(keys[index], incident_set)
+        merged_stats.publish()
+        if metrics is not None:
+            metrics.counter("exec.batch_shared_hits").inc(shared_hits)
+        span.add(
+            queries=len(resolved),
+            shards=len(tasks) if pending else 0,
+            shared_hits=shared_hits,
+            cache_hits=cache_hits,
+            pairs=merged_stats.pairs_examined,
+        )
+
+    results = tuple(final)
+    assert all(r is not None for r in results)
     return BatchResult(
         patterns=tuple(resolved),
-        results=tuple(IncidentSet(incidents) for incidents in per_query),
+        results=results,  # type: ignore[arg-type]
         stats=merged_stats,
         shared_hits=shared_hits,
         backend=backend_name,
         jobs=jobs,
+        cache_hits=cache_hits,
     )

@@ -83,6 +83,7 @@ class ParallelResult:
     backend: str
     jobs: int
     span: Span | None = None
+    cache_layer: str | None = None
 
     def __repr__(self) -> str:
         return (
@@ -124,6 +125,15 @@ class ParallelExecutor:
         same events are published to ``metrics`` as the
         ``exec.shards_completed`` counter and ``exec.shards_total``
         gauge, so a registry alone is enough to observe a run.
+    cache:
+        Optional :class:`~repro.cache.manager.QueryCache` (or any value
+        :func:`~repro.cache.manager.resolve_cache` accepts).  The result
+        layer is consulted before shards are even planned — a warm hit
+        skips the whole fan-out (``cache_layer="result"`` on the
+        returned outcome) — and filled after a cold ``evaluate``.  The
+        memo layer never crosses the executor: worker engines may run in
+        other processes.  (:class:`~repro.core.query.Query` handles the
+        result layer itself and leaves this unset.)
     """
 
     def __init__(
@@ -138,7 +148,10 @@ class ParallelExecutor:
         metrics: MetricsRegistry | None = None,
         dispatch: DispatchCostModel | None = None,
         progress: Callable[[int, int], None] | None = None,
+        cache=None,
     ):
+        from repro.cache.manager import resolve_cache
+
         self.jobs = jobs if jobs is not None else default_jobs()
         self.backend = backend
         self.strategy = strategy
@@ -147,6 +160,7 @@ class ParallelExecutor:
         self.metrics = metrics
         self.dispatch = dispatch if dispatch is not None else DispatchCostModel()
         self.progress = progress
+        self.cache = resolve_cache(cache)
         self.last_result: ParallelResult | None = None
 
     # -- public API --------------------------------------------------------
@@ -163,6 +177,27 @@ class ParallelExecutor:
     # -- machinery ---------------------------------------------------------
 
     def _run(self, source: Log | LogStore, pattern: Pattern, *, mode: str) -> ParallelResult:
+        cache_key = None
+        if self.cache is not None and self.cache.policy.caches_results:
+            cache_key = self.cache.result_key(
+                source, pattern, max_incidents=self.engine.max_incidents
+            )
+            hit = self.cache.get_result(cache_key)
+            if hit is not None:
+                result = ParallelResult(
+                    incidents=hit.incidents if mode == "evaluate" else None,
+                    count=len(hit.incidents),
+                    stats=hit.stats if hit.stats is not None else EvaluationStats(),
+                    plan=ShardPlan(
+                        strategy=self.strategy, shards=(), total_records=0
+                    ),
+                    backend="cache",
+                    jobs=self.jobs,
+                    cache_layer="result",
+                )
+                self.last_result = result
+                return result
+
         backend = self._choose_backend(source, pattern)
         n_shards = 1 if backend == "serial" else max(1, self.jobs * 2)
         trace = self.tracer is not None and getattr(self.tracer, "enabled", False)
@@ -184,6 +219,8 @@ class ParallelExecutor:
                 evaluate_shard, tasks, on_result=self._shard_done(len(tasks))
             )
         result = self._merge(outcomes, plan, backend, mode)
+        if cache_key is not None and result.incidents is not None:
+            self.cache.put_result(cache_key, result.incidents, result.stats)
         self.last_result = result
         return result
 

@@ -206,8 +206,22 @@ def plan_shards(
     for record in records:
         buckets[shard_of[record.wid]].append(record)
         total += 1
+    # shard logs inherit the source's cache provenance (never as full
+    # snapshots), so per-wid memo entries are shared between sharded and
+    # serial evaluation of the same store
+    epoch, lineage = source.epoch, source.lineage
     shards = tuple(
-        Shard(index=i, wids=groups[i], log=Log(buckets[i], validate=False))
+        Shard(
+            index=i,
+            wids=groups[i],
+            log=Log(
+                buckets[i],
+                validate=False,
+                epoch=epoch,
+                lineage=lineage,
+                snapshot=False,
+            ),
+        )
         for i in range(len(groups))
     )
     return ShardPlan(strategy=strategy, shards=shards, total_records=total)

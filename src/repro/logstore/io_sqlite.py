@@ -32,6 +32,7 @@ import sqlite3
 from collections.abc import Iterable
 from os import PathLike
 from typing import Union
+from uuid import uuid4
 
 from repro.core.errors import LogStoreError
 from repro.core.model import Log, LogRecord
@@ -67,6 +68,23 @@ class SqliteLogStore:
         self.connection = sqlite3.connect(self.path)
         self.connection.executescript(_SCHEMA)
         self.connection.commit()
+        # Provenance for repro.cache: the epoch is the stored record count
+        # (append-only, so it only grows while this handle is open); the
+        # lineage token is per-handle, because the file may be mutated by
+        # other handles/processes between opens.
+        self._lineage = f"sqlite:{uuid4().hex}"
+        self._epoch = self.count()
+
+    @property
+    def epoch(self) -> int:
+        """Append epoch: the number of records written through (or found
+        by) this handle.  Bumped by :meth:`append_records`/:meth:`save`."""
+        return self._epoch
+
+    @property
+    def lineage(self) -> str:
+        """Cache-identity token, unique per open handle."""
+        return self._lineage
 
     # -- lifecycle -------------------------------------------------------
 
@@ -89,6 +107,10 @@ class SqliteLogStore:
         """
         if replace:
             self.connection.execute("DELETE FROM records")
+            # a replace breaks the append-only invariant, so the old
+            # lineage (and any cache entries under it) must not survive
+            self._lineage = f"sqlite:{uuid4().hex}"
+            self._epoch = 0
         elif self.count() > 0:
             raise LogStoreError(
                 "store is not empty; pass replace=True or use append_records"
@@ -124,6 +146,7 @@ class SqliteLogStore:
             self.connection.executemany(
                 "INSERT INTO records VALUES (?, ?, ?, ?, ?, ?)", rows
             )
+        self._epoch = next_lsn - 1
         return len(rows)
 
     # -- reading -----------------------------------------------------------
@@ -172,6 +195,22 @@ class SqliteLogStore:
             )
         if not records:
             raise LogStoreError("store holds no matching records")
+        if wids is None:
+            # a full load re-assigns lsn := position, which for the whole
+            # ordered table is the identity, so the result is exactly the
+            # stored log and carries the handle's cache provenance; the
+            # epoch is the row count actually read, so appends made by
+            # other handles to the same file still invalidate
+            self._epoch = max(self._epoch, len(records))
+            return Log(
+                records,
+                validate=validate,
+                epoch=len(records),
+                lineage=self._lineage,
+                snapshot=True,
+            )
+        # partial loads compact lsns, producing records that differ from
+        # the stored ones — no store provenance
         return Log(records, validate=validate)
 
     def activity_histogram(self) -> dict[str, int]:

@@ -21,6 +21,7 @@ Example
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from uuid import uuid4
 
 from repro.core.errors import LogStoreError
 from repro.core.model import END, START, AttrMap, Log, LogRecord
@@ -52,7 +53,23 @@ class LogStore:
         self._next_is_lsn: dict[int, int] = {}
         self._closed: set[int] = set()
         self._next_wid = 1
+        self._epoch = 0
+        self._lineage = f"logstore:{uuid4().hex}"
         self.metrics = metrics
+
+    @property
+    def epoch(self) -> int:
+        """Append epoch: bumped once per appended record (sentinels
+        included).  Snapshots are stamped with the epoch they were taken
+        at, which is what lets the :mod:`repro.cache` result cache
+        invalidate precisely on appends."""
+        return self._epoch
+
+    @property
+    def lineage(self) -> str:
+        """Unique identity token of this store instance.  Two snapshots
+        share cache state only when their lineage matches."""
+        return self._lineage
 
     # -- instance lifecycle ----------------------------------------------
 
@@ -126,6 +143,7 @@ class LogStore:
         )
         self._records.append(record)
         self._next_is_lsn[wid] += 1
+        self._epoch += 1
         if self.metrics is not None:
             self.metrics.counter("logstore.records_appended").inc()
         return record
@@ -162,7 +180,12 @@ class LogStore:
             len(self._records),
             len(self._next_is_lsn),
         )
-        return Log(self._records)
+        return Log(
+            self._records,
+            epoch=self._epoch,
+            lineage=self._lineage,
+            snapshot=True,
+        )
 
     def wid_record_counts(self) -> dict[int, int]:
         """Per-instance record counts, in one pass over the store.
@@ -188,7 +211,11 @@ class LogStore:
         """
         keep = set(wids)
         return Log(
-            (r for r in self._records if r.wid in keep), validate=False
+            (r for r in self._records if r.wid in keep),
+            validate=False,
+            epoch=self._epoch,
+            lineage=self._lineage,
+            snapshot=False,
         )
 
     @classmethod
@@ -197,6 +224,7 @@ class LogStore:
         loaded log)."""
         store = cls()
         store._records = list(log.records)
+        store._epoch = len(store._records)
         for record in store._records:
             store._next_is_lsn[record.wid] = max(
                 store._next_is_lsn.get(record.wid, 1), record.is_lsn + 1

@@ -12,7 +12,8 @@ matches the originating bench module:
 * ``optimizer.*``    — Theorems 2-5 plan quality and planning overhead;
 * ``parallel.*``     — wid-disjoint shard fan-out (PR 3);
 * ``batch.*``        — shared-scan multi-query evaluation;
-* ``incremental.*``  — streaming maintenance vs batch re-evaluation.
+* ``incremental.*``  — streaming maintenance vs batch re-evaluation;
+* ``cache.*``        — cold vs warm runs through the query cache.
 
 The ``smoke`` suite is the cheap CI subset (sub-second per case on any
 host); ``full`` adds the larger sweeps.  Import cost: this module pulls
@@ -219,6 +220,59 @@ def register_standard_cases(registry: BenchRegistry) -> None:
             parse("GetRefer -> CheckIn -> UpdateRefer"),
         ]
         return lambda: evaluate_batch(log, patterns, optimize=False)
+
+    # -- cache (result/memo layers) ---------------------------------------
+
+    @registry.case(
+        "cache.cold",
+        suites=("smoke", "full"),
+        description="uncached chain evaluation — the warm-run reference",
+        instances=120,
+    )
+    def _cache_cold(instances: int) -> Callable[[], Any]:
+        from repro.core.query import Query
+
+        log = clinic_log(instances, seed=42)
+        query = Query(parse("GetRefer -> CheckIn -> SeeDoctor"))
+        return lambda: query.run(log)
+
+    @registry.case(
+        "cache.warm_result",
+        suites=("smoke", "full"),
+        description="the same chain served from the result layer",
+        instances=120,
+    )
+    def _cache_warm_result(instances: int) -> Callable[[], Any]:
+        from repro.cache import QueryCache
+        from repro.core.options import EngineOptions
+        from repro.core.query import Query
+
+        log = clinic_log(instances, seed=42)
+        query = Query(
+            parse("GetRefer -> CheckIn -> SeeDoctor"),
+            EngineOptions(cache=QueryCache()),
+        )
+        query.run(log)  # prime: every measured run is a result-layer hit
+        return lambda: query.run(log)
+
+    @registry.case(
+        "cache.warm_memo",
+        suites=("full",),
+        description="the same chain re-joined from memoized sub-scans",
+        instances=120,
+    )
+    def _cache_warm_memo(instances: int) -> Callable[[], Any]:
+        from repro.cache import CachePolicy, QueryCache
+        from repro.core.options import EngineOptions
+        from repro.core.query import Query
+
+        log = clinic_log(instances, seed=42)
+        query = Query(
+            parse("GetRefer -> CheckIn -> SeeDoctor"),
+            EngineOptions(cache=QueryCache(CachePolicy(results=False))),
+        )
+        query.run(log)  # prime the per-(wid, subpattern) memo entries
+        return lambda: query.run(log)
 
     # -- incremental (streaming) ------------------------------------------
 

@@ -1,0 +1,197 @@
+"""Property: a cached evaluation is byte-for-byte identical to a cold
+one — same incidents, same canonical order — across the serial and the
+sharded (``jobs=2``) paths, and across store appends (which must
+invalidate exactly the stale entries).
+
+Plus integration assertions for which layer serves which run: memo hits
+across Query runs, ``evaluate_batch`` result-layer reuse, and the
+ParallelExecutor's cache consult.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import EngineOptions, IncidentSet, Query
+from repro.cache import CachePolicy, QueryCache
+from repro.core.pattern import (
+    Atomic,
+    Choice,
+    Consecutive,
+    Parallel,
+    Sequential,
+)
+from repro.logstore.store import LogStore
+
+ALPHABET = ("A", "B", "C")
+
+
+def atoms():
+    return st.builds(Atomic, st.sampled_from(ALPHABET), st.booleans())
+
+
+def patterns(max_leaves=4):
+    return st.recursive(
+        atoms(),
+        lambda children: st.builds(
+            lambda cls, l, r: cls(l, r),
+            st.sampled_from((Consecutive, Sequential, Choice, Parallel)),
+            children,
+            children,
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def traces():
+    return st.dictionaries(
+        keys=st.integers(min_value=1, max_value=4),
+        values=st.lists(
+            st.sampled_from(ALPHABET + ("Z",)), min_size=1, max_size=6
+        ),
+        min_size=1,
+        max_size=4,
+    )
+
+
+def make_store(trace_map):
+    store = LogStore()
+    for wid, activities in trace_map.items():
+        store.open_instance(wid)
+        for activity in activities:
+            store.append(wid=wid, activity=activity)
+    return store
+
+
+def rows(result: IncidentSet):
+    """The full observable content in canonical order."""
+    return result.to_rows()
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces(), patterns())
+def test_cached_equals_cold_serial(trace_map, pattern):
+    snap = make_store(trace_map).snapshot()
+    cold = Query(pattern).run(snap)
+
+    cache = QueryCache()
+    query = Query(pattern, EngineOptions(cache=cache))
+    first = query.run(snap)
+    second = query.run(snap)
+
+    assert query.last_cache_layer == "result"
+    assert rows(first) == rows(cold)
+    assert rows(second) == rows(cold)
+    assert cache.stats()["result_hits"] >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(traces(), patterns())
+def test_cached_equals_cold_with_two_jobs(trace_map, pattern):
+    snap = make_store(trace_map).snapshot()
+    cold = Query(pattern).run(snap)
+
+    cache = QueryCache()
+    query = Query(
+        pattern, EngineOptions(jobs=2, backend="thread", cache=cache)
+    )
+    first = query.run(snap)
+    second = query.run(snap)
+
+    assert query.last_cache_layer == "result"
+    assert rows(first) == rows(cold)
+    assert rows(second) == rows(cold)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    traces(),
+    patterns(),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),
+            st.sampled_from(ALPHABET + ("Z",)),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_appends_invalidate_and_revalidate_correctly(
+    trace_map, pattern, appends
+):
+    store = make_store(trace_map)
+    cache = QueryCache()
+    query = Query(pattern, EngineOptions(cache=cache))
+    query.run(store.snapshot())
+
+    for wid, activity in appends:
+        if wid not in trace_map:
+            store.open_instance(wid)
+            trace_map[wid] = []
+        store.append(wid=wid, activity=activity)
+        trace_map[wid].append(activity)
+
+    snap = store.snapshot()
+    warm = query.run(snap)
+    assert query.last_cache_layer != "result"  # stale entry must not serve
+    cold = Query(pattern).run(snap)
+    assert rows(warm) == rows(cold)
+    # and the fresh entry now serves
+    again = query.run(snap)
+    assert query.last_cache_layer == "result"
+    assert rows(again) == rows(warm)
+
+
+class TestLayerIntegration:
+    STORE = staticmethod(
+        lambda: make_store(
+            {wid: ["A", "B", "A", "C", "B"] for wid in range(1, 9)}
+        )
+    )
+
+    def test_memo_layer_serves_a_fresh_query_on_an_updated_log(self):
+        store = self.STORE()
+        cache = QueryCache(CachePolicy(results=False))  # isolate the memo layer
+        query = Query("A -> B", EngineOptions(cache=cache))
+        query.run(store.snapshot())
+        assert query.last_cache_layer is None  # cold
+
+        store.open_instance(99)
+        store.append(wid=99, activity="A")
+        warm = query.run(store.snapshot())
+        # every pre-existing wid is served from the memo layer
+        assert query.last_cache_layer == "memo"
+        assert cache.stats()["memo_hits"] > 0
+        cold = Query("A -> B").run(store.snapshot())
+        assert warm.to_rows() == cold.to_rows()
+
+    def test_memo_hits_cross_query_objects(self):
+        snap = self.STORE().snapshot()
+        cache = QueryCache(CachePolicy(results=False))
+        Query("A -> B", EngineOptions(cache=cache)).run(snap)
+        other = Query("(A -> B) | C", EngineOptions(cache=cache))
+        other.run(snap)
+        # the shared A, B and A -> B sub-scans come from the memo layer
+        assert other.last_cache_layer == "memo"
+
+    def test_evaluate_batch_reuses_cached_results(self):
+        snap = self.STORE().snapshot()
+        cache = QueryCache()
+        cold = Query.evaluate_batch(snap, ["A -> B", "A ; B"], cache=cache)
+        assert cold.cache_hits == 0
+        warm = Query.evaluate_batch(snap, ["A -> B", "B | C"], cache=cache)
+        assert warm.cache_hits == 1  # "A -> B" served without re-evaluation
+        assert warm.results[0].to_rows() == cold.results[0].to_rows()
+
+    def test_parallel_executor_consults_the_cache(self):
+        from repro.exec.parallel import ParallelExecutor
+
+        snap = self.STORE().snapshot()
+        cache = QueryCache()
+        pattern = Query("A -> B").pattern
+        executor = ParallelExecutor(jobs=2, backend="thread", cache=cache)
+        cold = executor.evaluate(snap, pattern)
+        assert cold.cache_layer is None
+        warm = executor.evaluate(snap, pattern)
+        assert warm.cache_layer == "result"
+        assert warm.backend == "cache"
+        assert warm.incidents.to_rows() == cold.incidents.to_rows()

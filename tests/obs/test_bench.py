@@ -123,6 +123,7 @@ class TestRegistry:
             "parallel",
             "batch",
             "incremental",
+            "cache",
         }
         assert "smoke" in registry.suites()
         # every smoke case is also a full case: full is the superset sweep
