@@ -63,6 +63,11 @@ from repro.core import (  # noqa: E402
     reference_incidents,
     sequential,
 )
+from repro.analysis import (  # noqa: E402
+    AnalysisError,
+    PatternProver,
+    verify_rules,
+)
 from repro.cache import CachePolicy, QueryCache  # noqa: E402
 from repro.logstore.store import LogStore  # noqa: E402
 
@@ -110,4 +115,7 @@ __all__ = [
     "parallel",
     "Query",
     "ENGINES",
+    "AnalysisError",
+    "PatternProver",
+    "verify_rules",
 ]

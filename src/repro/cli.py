@@ -17,7 +17,16 @@ Subcommands
   ``--flamegraph out.html`` / ``--folded out.txt`` render the recorded
   span tree as a self-contained HTML flamegraph / folded stacks;
 * ``batch``     — evaluate several patterns in one shared-scan pass,
-  deduplicating common subpatterns across the queries;
+  deduplicating common subpatterns across the queries and skipping the
+  scans of queries the prover shows are subsumed by a sibling (opt out
+  with ``--no-analyze``; a pre-flight ``lint_batch`` pass reports
+  QW501 subsumption findings on stderr, opt out with ``--no-lint``);
+* ``analyze``   — the decision procedures of ``repro.analysis``:
+  ``--rules`` proves every shipped optimizer rewrite rule
+  equivalence-preserving (CI gate), ``--equivalent P Q`` /
+  ``--contains P Q`` decide the pair and print a counterexample trace
+  on refutation (exit 0 holds, 1 refuted, 2 usage/input error,
+  3 internal error);
 * ``bench``     — the continuous-performance harness: ``bench run``
   executes a registry suite and records a ``repro.obs.bench/v1``
   document (appending to ``BENCH_history.jsonl``), ``bench compare``
@@ -215,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-layer cache byte budget (default 32 MiB per layer)",
     )
     query.add_argument(
+        "--cache-equivalence",
+        action="store_true",
+        help="key the result cache on proved equivalence classes "
+        "(repro.analysis canonical keys) instead of AC-canonical "
+        "patterns; implies --cache",
+    )
+    query.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -361,6 +377,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip rule-based canonicalisation (reduces subpattern sharing)",
     )
     batch.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="skip the subsumption prover pass (every query scans the log "
+        "independently)",
+    )
+    batch.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the pre-flight lint_batch pass (QW501 subsumption "
+        "findings on stderr)",
+    )
+    batch.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -383,6 +411,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve repeated patterns from the result cache and persist "
         "subpattern memos across the batch (in-process backends)",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="decision procedures: rewrite-rule soundness, pattern "
+        "equivalence and containment (repro.analysis)",
+    )
+    analyze.add_argument(
+        "--rules",
+        action="store_true",
+        help="prove every shipped optimizer rewrite rule "
+        "equivalence-preserving over the standard corpus",
+    )
+    analyze.add_argument(
+        "--equivalent",
+        nargs=2,
+        metavar=("P", "Q"),
+        default=None,
+        help="decide P ≡ Q; prints a counterexample trace on refutation",
+    )
+    analyze.add_argument(
+        "--contains",
+        nargs=2,
+        metavar=("P", "Q"),
+        default=None,
+        help="decide P ⊑ Q (every incident of P is an incident of Q); "
+        "prints a counterexample trace on refutation",
+    )
+    analyze.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="prover automaton state budget (default 20000)",
+    )
+    analyze.add_argument(
+        "--samples",
+        type=int,
+        default=40,
+        help="random corpus patterns per rule for --rules (default 40)",
     )
 
     lint = commands.add_parser(
@@ -472,18 +539,72 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    # Exit codes (documented in docs/QUERY_LANGUAGE.md §6): 0 clean or
+    # warnings/info only, 1 error-severity diagnostics, 2 usage/input
+    # error (syntax, unreadable log), 3 internal linter failure — so a
+    # pipeline can tell "the query is bad" from "the linter is broken".
     parsed = parse_with_spans(args.pattern)
     linter = Linter.for_context(
         log=_load_log(args.log) if args.log else None,
         spec=_MODELS[args.model]() if args.model else None,
         cost_threshold=args.cost_threshold,
     )
-    diagnostics = linter.lint(parsed)
-    if args.format == "json":
-        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
-    else:
-        print(format_diagnostics(diagnostics, parsed.text))
+    try:
+        diagnostics = linter.lint(parsed)
+        if args.format == "json":
+            print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+        else:
+            print(format_diagnostics(diagnostics, parsed.text))
+    except ReproError:
+        raise  # usage/input error: main() maps it to exit code 2
+    except Exception as exc:  # noqa: BLE001 - the distinct-code contract
+        print(f"internal error: {exc!r}", file=sys.stderr)
+        return 3
     return 1 if any(d.severity == Severity.ERROR for d in diagnostics) else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import PatternProver, default_prover, verify_rules
+
+    chosen = sum(
+        1 for flag in (args.rules, args.equivalent, args.contains) if flag
+    )
+    if chosen != 1:
+        raise ReproError(
+            "choose exactly one of --rules, --equivalent P Q, --contains P Q"
+        )
+    prover = (
+        PatternProver(max_states=args.max_states)
+        if args.max_states is not None
+        else default_prover()
+    )
+    try:
+        if args.rules:
+            report = verify_rules(samples=args.samples, prover=prover)
+            print(report.format())
+            return 0 if report.ok else 1
+        if args.equivalent:
+            p, q = (parse(text) for text in args.equivalent)
+            counterexample = prover.witness(p, q)
+            if counterexample is None:
+                print("equivalent")
+                return 0
+            print("not equivalent")
+            print(counterexample.format())
+            return 1
+        p, q = (parse(text) for text in args.contains)
+        refutation = prover.containment_witness(p, q)
+        if refutation is None:
+            print("contained: every incident of P is an incident of Q")
+            return 0
+        print("not contained")
+        print(refutation.format())
+        return 1
+    except ReproError:
+        raise  # includes AnalysisError: budget/unsupported → exit code 2
+    except Exception as exc:  # noqa: BLE001 - mirror lint's contract
+        print(f"internal error: {exc!r}", file=sys.stderr)
+        return 3
 
 
 def _shard_progress(stream):
@@ -518,8 +639,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     want_metrics = args.metrics or args.metrics_format != "json"
     registry = MetricsRegistry() if want_metrics else None
     cache = None
-    if args.cache:
-        policy = CachePolicy()
+    if args.cache or args.cache_equivalence:
+        policy = CachePolicy(equivalence_keys=args.cache_equivalence)
         if args.cache_bytes is not None:
             policy = policy.with_budget(args.cache_bytes)
         cache = QueryCache(policy, metrics=registry)
@@ -578,7 +699,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"run {runs}/{runs}: {elapsed_ms:.2f} ms  (cache: {layer})",
             file=sys.stderr,
         )
-    if args.cache:
+    if cache is not None:
         print(f"cache: served by {query.last_cache_layer or 'none (cold)'}")
     if tracer is not None:
         print()
@@ -784,10 +905,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not patterns:
         raise ReproError("no patterns given (positional or --queries FILE)")
     log = _load_log(args.log)
+    if not args.no_lint:
+        # pre-flight pass on stderr (stdout carries only results): per-
+        # query diagnostics plus proved QW501 cross-query subsumption
+        from repro.core.lint import lint_batch
+
+        for text, diagnostics in zip(patterns, lint_batch(patterns, log=log)):
+            for diagnostic in diagnostics:
+                print(f"{text}: {diagnostic.format()}", file=sys.stderr)
     result = evaluate_batch(
         log,
         patterns,
         optimize=not args.no_optimize,
+        analyze=not args.no_analyze,
         jobs=args.jobs,
         backend=args.backend,
         max_incidents=args.max_incidents,
@@ -798,7 +928,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     summary = (
         f"--- {len(patterns)} query(ies), {result.stats.pairs_examined} pairs "
         f"examined, {result.shared_hits} shared subpattern hit(s), "
-        f"backend={result.backend}, jobs={result.jobs}"
+        f"{result.subsumed} subsumed, backend={result.backend}, "
+        f"jobs={result.jobs}"
     )
     if args.cache:
         summary += f", {result.cache_hits} cached result(s)"
@@ -914,6 +1045,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "batch": _cmd_batch,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
     "generate": _cmd_generate,

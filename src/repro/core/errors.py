@@ -77,6 +77,29 @@ class OptimizerError(ReproError):
     """The query optimizer produced or detected an inconsistent plan."""
 
 
+class AnalysisError(ReproError):
+    """Base class of the :mod:`repro.analysis` decision-procedure errors."""
+
+
+class UnsupportedPatternError(AnalysisError):
+    """The pattern falls outside the decidable fragment the prover
+    compiles to automata (e.g. an attribute-guarded atom, whose predicate
+    language is not regular over activity names)."""
+
+
+class AnalysisBudgetError(AnalysisError):
+    """An automaton construction exceeded the prover's state budget.
+
+    The decision procedures are complete but worst-case exponential in
+    pattern size (subset construction, shuffle products); the budget
+    turns that into a clean refusal instead of unbounded memory use.
+    """
+
+    def __init__(self, message: str, *, limit: int):
+        super().__init__(message)
+        self.limit = limit
+
+
 class WorkflowDefinitionError(ReproError):
     """A workflow specification is structurally invalid (unknown node,
     unreachable activity, gateway fan-in/out mismatch, ...)."""

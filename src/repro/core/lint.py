@@ -33,7 +33,14 @@ QW401     warning   estimated evaluation blowup: the cost model (or, with
                     no log, Theorem 1's ``O(m^k)`` bound) exceeds the
                     configured threshold
 QW402     info      a cheaper equivalent form exists via Theorem 5 choice
-                    factoring (the optimizer's normal form)
+                    factoring (the optimizer's normal form), *proved*
+                    equivalent by the containment prover
+QW501     info      the query is provably subsumed by a batch sibling —
+                    the batch planner evaluates the sibling once and
+                    derives this query by filtering
+QW502     warning   a ``⊗`` operand is provably subsumed by a sibling
+                    operand (``p ⊑ q`` implies ``p ⊗ q ≡ q``), beyond
+                    the syntactic duplicates QW301 catches
 ========  ========  =====================================================
 
 Satisfiability here is always *relative to a context*: in the core
@@ -47,6 +54,13 @@ a pattern flagged QW201 has a provably empty incident set.
 The linter and the query planner share one canonical form
 (:func:`repro.core.optimizer.rules.normalize`), so a query is planned in
 exactly the shape lint reasoned about.
+
+The QW402/QW5xx equivalence and subsumption verdicts are *proved* by the
+:mod:`repro.analysis` containment prover (decision procedures over the
+automaton IR), not inferred from syntax or cost heuristics: QW402 is
+only emitted once the normal form is proved equivalent to the original
+query, and falls back to silence — never a guess — when the proof is
+unavailable (state budget, unsupported operator).
 
 Example
 -------
@@ -94,8 +108,26 @@ __all__ = [
     "DIAGNOSTIC_CODES",
     "Linter",
     "lint_pattern",
+    "lint_batch",
     "format_diagnostics",
 ]
+
+
+# -- prover bridge (lazy: repro.analysis imports the evaluation stack) -----
+
+def _proved(kind: str, p: Pattern, q: Pattern) -> bool | None:
+    """Ask the shared prover whether ``p kind q`` holds; ``None`` when it
+    cannot decide (state budget, unsupported operator) — callers must
+    treat ``None`` as "stay silent", never as a verdict."""
+    from repro.analysis import AnalysisError, default_prover
+
+    try:
+        prover = default_prover()
+        if kind == "equivalent":
+            return prover.equivalent(p, q)
+        return prover.contains(p, q)
+    except AnalysisError:
+        return None
 
 
 class Severity(IntEnum):
@@ -119,7 +151,9 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "QW301": "redundant duplicate choice operand",
     "QW302": "duplicate parallel operand",
     "QW401": "estimated evaluation blowup",
-    "QW402": "cheaper equivalent form available",
+    "QW402": "cheaper equivalent form available (proved)",
+    "QW501": "query subsumed by a batch sibling (proved)",
+    "QW502": "choice operand subsumed by a sibling (proved)",
 }
 
 
@@ -293,6 +327,7 @@ class Linter:
         diagnostics += self._check_satisfiability(pattern, span_of, empty_memo)
         diagnostics += self._check_dead_branches(pattern, span_of, empty_memo)
         diagnostics += self._check_redundancy(pattern, span_of)
+        diagnostics += self._check_subsumption(pattern, span_of)
         diagnostics += self._check_complexity(pattern, span_of)
         diagnostics.sort(
             key=lambda d: (
@@ -575,6 +610,52 @@ class Linter:
             )
         return out
 
+    # -- proved choice subsumption (QW502) ---------------------------------
+
+    #: Skip the pairwise prover pass on choices larger than this (the
+    #: proofs are per-pair automaton constructions).
+    max_subsumption_operands = 5
+
+    def _check_subsumption(self, pattern: Pattern, span_of) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for node, parent in _walk_with_parent(pattern):
+            if not isinstance(node, Choice) or isinstance(parent, Choice):
+                continue
+            operands = flatten_assoc(node, Choice)
+            if len(operands) > self.max_subsumption_operands:
+                continue
+            canon = [canonicalize(op) for op in operands]
+            for j, operand in enumerate(operands):
+                for i, sibling in enumerate(operands):
+                    if i == j or canon[i] == canon[j]:
+                        continue  # syntactic duplicates are QW301's beat
+                    if not _proved("contains", operand, sibling):
+                        continue
+                    # equivalent-but-not-identical pairs: flag only the
+                    # later operand, mirroring QW301's keep-first rule
+                    if i > j and _proved("contains", sibling, operand):
+                        continue
+                    kept = [op for k, op in enumerate(operands) if k != j]
+                    out.append(
+                        Diagnostic(
+                            code="QW502",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"operand {to_text(operand)!r} is provably "
+                                f"subsumed by sibling {to_text(sibling)!r}: "
+                                f"every incident of the former is an incident "
+                                f"of the latter, so p ⊗ q ≡ q"
+                            ),
+                            span=span_of(operand),
+                            suggestion=(
+                                f"equivalent without the subsumed operand: "
+                                f"{to_text(build_left_deep(Choice, kept))}"
+                            ),
+                        )
+                    )
+                    break
+        return out
+
     # -- complexity (QW401 / QW402) ----------------------------------------
 
     def _check_complexity(self, pattern: Pattern, span_of) -> list[Diagnostic]:
@@ -626,10 +707,13 @@ class Linter:
                     )
                 )
 
-        if factored:
+        # QW402 is gated on an actual equivalence proof of the rewritten
+        # form: a failed or undecidable proof yields silence, not a guess.
+        if factored and _proved("equivalent", pattern, normalized):
             message = (
                 "an equivalent cheaper form exists via Theorem 5 choice "
-                "factoring (the planner evaluates this form)"
+                "factoring (proved equivalent; the planner evaluates this "
+                "form)"
             )
             if self.model is not None:
                 before = self.model.plan_cost(pattern)
@@ -674,3 +758,67 @@ def lint_pattern(
     """One-shot convenience: lint ``query`` against an optional log and/or
     workflow specification.  See :class:`Linter` for keyword options."""
     return Linter.for_context(log=log, spec=spec, **kwargs).lint(query)
+
+
+#: Skip the cross-query prover pass on batches larger than this.
+_MAX_BATCH_SUBSUMPTION = 16
+
+
+def lint_batch(
+    queries: Sequence[str | Pattern | ParseResult],
+    *,
+    log: Log | None = None,
+    spec: WorkflowSpec | None = None,
+    linter: Linter | None = None,
+    **kwargs,
+) -> list[list[Diagnostic]]:
+    """Lint a batch of queries: per-query diagnostics plus the proved
+    cross-query subsumption check (QW501).
+
+    A QW501 finding means the batch executor's subsumption planner
+    (:func:`repro.exec.batch.evaluate_batch`) will evaluate the named
+    sibling once and derive this query's incidents by filtering — the
+    diagnostic is informational, not a defect.  Returns one diagnostic
+    list per query, index-aligned with ``queries``.
+    """
+    if linter is None:
+        linter = Linter.for_context(log=log, spec=spec, **kwargs)
+    resolved: list[ParseResult | Pattern] = [
+        parse_with_spans(query) if isinstance(query, str) else query
+        for query in queries
+    ]
+    per_query = [linter.lint(query) for query in resolved]
+    patterns = [
+        query.pattern if isinstance(query, ParseResult) else query
+        for query in resolved
+    ]
+    if len(patterns) < 2 or len(patterns) > _MAX_BATCH_SUBSUMPTION:
+        return per_query
+    for j, pattern in enumerate(patterns):
+        for i, sibling in enumerate(patterns):
+            if i == j:
+                continue
+            if not _proved("contains", pattern, sibling):
+                continue
+            if i > j and _proved("contains", sibling, pattern):
+                continue  # for proved-equivalent pairs, flag the later one
+            span = (
+                resolved[j].span(pattern)
+                if isinstance(resolved[j], ParseResult)
+                else None
+            )
+            per_query[j].append(
+                Diagnostic(
+                    code="QW501",
+                    severity=Severity.INFO,
+                    message=(
+                        f"query is provably subsumed by batch sibling #{i + 1} "
+                        f"({to_text(sibling)!r}): the batch planner evaluates "
+                        f"that sibling once and derives this query's "
+                        f"incidents by filtering"
+                    ),
+                    span=span,
+                )
+            )
+            break
+    return per_query

@@ -14,14 +14,22 @@ shared subpattern once per query.  :func:`evaluate_batch` instead:
    subpattern)`` incident lists are memoised, so a subpattern shared by
    several queries (or appearing twice in one) is scanned and joined
    exactly once;
-3. optionally fans the shared scan out over wid-disjoint shards
+3. runs the :mod:`repro.analysis` subsumption planner over the still-
+   pending queries (``analyze=True``): queries *proved* equivalent to a
+   sibling alias its result set outright, and queries proved strictly
+   contained in a sibling skip their scan — the subsuming query is
+   evaluated once and the subsumed one derived by filtering its
+   incidents through an exact membership matcher;
+4. optionally fans the shared scan out over wid-disjoint shards
    (``jobs``/``backend``, same machinery as
    :class:`~repro.exec.parallel.ParallelExecutor`).
 
-The observable guarantee, asserted in ``tests/exec/test_batch.py``: the
-per-query incident sets equal independent evaluation byte for byte,
-while ``stats.pairs_examined`` is *strictly smaller* whenever any
-subpattern is shared.
+The observable guarantee, asserted in ``tests/exec/test_batch.py`` and
+``tests/exec/test_batch_subsumption.py``: the per-query incident sets
+equal independent evaluation byte for byte — subsumption derivation is
+exact, because ``p ⊑ q`` makes filtering ``incL(q)`` through ``p``'s
+matcher yield precisely ``incL(p)`` — while ``stats.pairs_examined``
+shrinks whenever any subpattern is shared or any query is subsumed.
 """
 
 from __future__ import annotations
@@ -146,6 +154,11 @@ class BatchResult:
     backend: str
     jobs: int
     cache_hits: int = 0
+    #: queries that skipped their own log scan because the subsumption
+    #: planner proved them equivalent to / contained in a sibling
+    subsumed: int = 0
+    #: successful containment/equivalence proofs the planner used
+    proofs: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -156,7 +169,8 @@ class BatchResult:
     def __repr__(self) -> str:
         return (
             f"BatchResult({len(self.results)} query(ies), "
-            f"{self.shared_hits} shared hit(s), backend={self.backend})"
+            f"{self.shared_hits} shared hit(s), "
+            f"{self.subsumed} subsumed, backend={self.backend})"
         )
 
 
@@ -207,6 +221,7 @@ def evaluate_batch(
     patterns,
     *,
     optimize: bool = True,
+    analyze: bool = True,
     jobs: int = 1,
     backend: str = "serial",
     strategy: str = "hash",
@@ -225,6 +240,14 @@ def evaluate_batch(
         Apply rule-based canonicalisation before evaluation (default).
         Unlike the per-query cost-based optimizer, normalisation never
         trades sharing away: equal subpatterns stay equal.
+    analyze:
+        Run the :func:`repro.analysis.plan_subsumption` prover pass over
+        the pending queries (default).  Queries proved equivalent to or
+        strictly contained in a sibling skip their own scan; their
+        incident sets are shared or derived by exact filtering, and the
+        returned batch reports them in ``subsumed`` (``proofs`` counts
+        the containment proofs used).  Queries the prover cannot handle
+        fall back to a normal scan — analysis never fails a batch.
     jobs / backend / strategy:
         Parallel fan-out controls; the default is a single-shard serial
         shared scan.  With ``jobs > 1`` and a pool backend, each shard
@@ -268,6 +291,28 @@ def evaluate_batch(
                 cache_hits += 1
     pending = [i for i in range(len(resolved)) if final[i] is None]
 
+    # subsumption pre-pass: prove containment/equivalence across the
+    # pending queries, so subsumed ones never reach the shard scan
+    plan = None
+    proofs = 0
+    if analyze and len(pending) > 1:
+        from repro.analysis import AnalysisError, plan_subsumption
+
+        try:
+            candidate = plan_subsumption([resolved[i] for i in pending])
+        except AnalysisError:
+            candidate = None
+        if candidate is not None:
+            proofs = candidate.proofs
+            if candidate.subsumed:
+                plan = candidate
+    subsumed = plan.subsumed if plan is not None else 0
+    scan_positions = (
+        list(range(len(pending)))
+        if plan is None
+        else [p for p, action in enumerate(plan.actions) if action.kind == "scan"]
+    )
+
     backend_name = "serial" if jobs <= 1 else backend
     n_shards = 1 if backend_name == "serial" else max(1, jobs * 2)
     merged_stats = EvaluationStats(registry=metrics)
@@ -289,7 +334,9 @@ def evaluate_batch(
                 _BatchShardTask(
                     shard_index=index,
                     log=shard_log,
-                    patterns=tuple(resolved[i] for i in pending),
+                    patterns=tuple(
+                        resolved[pending[p]] for p in scan_positions
+                    ),
                     max_incidents=max_incidents,
                     cache=task_cache,
                 )
@@ -298,25 +345,63 @@ def evaluate_batch(
             with make_backend(backend_name, jobs) as runner:
                 outcomes = runner.run(evaluate_batch_shard, tasks)
 
-            per_query: list[list[Incident]] = [[] for _ in pending]
+            per_query: list[list[Incident]] = [[] for _ in scan_positions]
             for outcome in outcomes:
                 merged_stats.merge(outcome.stats)
                 shared_hits += outcome.shared_hits
-                for position, incidents in enumerate(outcome.per_query):
-                    per_query[position].extend(incidents)
+                for slot, incidents in enumerate(outcome.per_query):
+                    per_query[slot].extend(incidents)
+            incident_lists: dict[int, list[Incident]] = {
+                position: per_query[slot]
+                for slot, position in enumerate(scan_positions)
+            }
+            position_sets: dict[int, IncidentSet] = {
+                position: IncidentSet(incidents)
+                for position, incidents in incident_lists.items()
+            }
+            if plan is not None:
+                # resolve aliases/derivations in dependency order; strict
+                # containment is a partial order, so every pass makes
+                # progress (a derive chain bottoms out at a scanned leader)
+                remaining = [
+                    p for p, action in enumerate(plan.actions)
+                    if action.kind != "scan"
+                ]
+                while remaining:
+                    deferred = []
+                    for position in remaining:
+                        action = plan.actions[position]
+                        if action.source not in position_sets:
+                            deferred.append(position)
+                            continue
+                        if action.kind == "alias":
+                            incident_lists[position] = incident_lists[action.source]
+                            position_sets[position] = position_sets[action.source]
+                        else:
+                            derived = plan.filter_incidents(
+                                position, incident_lists[action.source], log
+                            )
+                            incident_lists[position] = derived
+                            position_sets[position] = IncidentSet(derived)
+                    assert len(deferred) < len(remaining)
+                    remaining = deferred
             for position, index in enumerate(pending):
-                incident_set = IncidentSet(per_query[position])
+                incident_set = position_sets[position]
                 final[index] = incident_set
                 if keys[index] is not None:
                     live_cache.put_result(keys[index], incident_set)
         merged_stats.publish()
         if metrics is not None:
             metrics.counter("exec.batch_shared_hits").inc(shared_hits)
+            metrics.counter("analysis.subsumed").inc(subsumed)
+            metrics.counter("analysis.proofs").inc(proofs)
         span.add(
             queries=len(resolved),
             shards=len(tasks) if pending else 0,
             shared_hits=shared_hits,
             cache_hits=cache_hits,
+            subsumed=subsumed,
+            proofs=proofs,
             pairs=merged_stats.pairs_examined,
         )
 
@@ -330,4 +415,6 @@ def evaluate_batch(
         backend=backend_name,
         jobs=jobs,
         cache_hits=cache_hits,
+        subsumed=subsumed,
+        proofs=proofs,
     )

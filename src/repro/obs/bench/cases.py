@@ -11,7 +11,9 @@ matches the originating bench module:
 * ``scaling.*``      — Section 3.2 index vs scan behaviour;
 * ``optimizer.*``    — Theorems 2-5 plan quality and planning overhead;
 * ``parallel.*``     — wid-disjoint shard fan-out (PR 3);
-* ``batch.*``        — shared-scan multi-query evaluation;
+* ``batch.*``        — shared-scan multi-query evaluation, including the
+  subsumption-planned variant (PR 6);
+* ``analysis.*``     — containment-prover compile + decide cost;
 * ``incremental.*``  — streaming maintenance vs batch re-evaluation;
 * ``cache.*``        — cold vs warm runs through the query cache.
 
@@ -220,6 +222,45 @@ def register_standard_cases(registry: BenchRegistry) -> None:
             parse("GetRefer -> CheckIn -> UpdateRefer"),
         ]
         return lambda: evaluate_batch(log, patterns, optimize=False)
+
+    @registry.case(
+        "batch.subsumed",
+        suites=("smoke", "full"),
+        description="a containment chain answered by one scan + proved "
+        "derivation instead of three scans",
+        instances=120,
+    )
+    def _batch_subsumed(instances: int) -> Callable[[], Any]:
+        from repro.analysis import plan_subsumption
+        from repro.exec.batch import evaluate_batch
+
+        log = clinic_log(instances, seed=42)
+        patterns = [
+            parse("GetRefer ; CheckIn"),
+            parse("GetRefer -> CheckIn"),
+            parse("(GetRefer -> CheckIn) | (CheckIn -> GetRefer)"),
+        ]
+        plan_subsumption(patterns)  # warm the shared prover's DFA memo
+        return lambda: evaluate_batch(log, patterns, optimize=False)
+
+    # -- analysis (containment prover) ------------------------------------
+
+    @registry.case(
+        "analysis.containment",
+        suites=("smoke", "full"),
+        description="compile + decide p ⊑ q on a fresh prover (no memo)",
+    )
+    def _analysis_containment() -> Callable[[], Any]:
+        from repro.analysis import PatternProver
+
+        p = parse("GetRefer ; CheckIn ; SeeDoctor")
+        q = parse("GetRefer -> (CheckIn | SeeDoctor) -> SeeDoctor")
+
+        def run() -> Any:
+            prover = PatternProver()
+            return prover.contains(p, q), prover.contains(q, p)
+
+        return run
 
     # -- cache (result/memo layers) ---------------------------------------
 

@@ -1,0 +1,84 @@
+"""Equivalence-class result keys: with ``CachePolicy(equivalence_keys=
+True)`` the result layer is keyed on the prover's canonical language
+key, so *proved-equivalent* queries — even ones no syntactic rewrite
+relates — share one cached entry.  Soundness: equal keys imply equal
+incident sets on every log, so a shared entry can never serve a wrong
+answer."""
+
+from repro import EngineOptions, Query
+from repro.cache import CachePolicy, QueryCache
+from repro.core.model import Log
+from repro.core.pattern import Atomic, Choice, Parallel, Sequential
+
+A, B = Atomic("A"), Atomic("B")
+
+#: ``A & B``  ≡  ``(A -> B) | (B -> A)`` — equivalent, not AC-related.
+PAR = Parallel(A, B)
+CHO = Choice(Sequential(A, B), Sequential(B, A))
+
+LOG = Log.from_traces(
+    {1: ["A", "Z", "B"], 2: ["B", "A"], 3: ["A"], 4: ["B", "Z", "B", "A"]},
+    interleave=True,
+)
+
+
+def equivalence_cache():
+    return QueryCache(CachePolicy(equivalence_keys=True))
+
+
+def test_proved_equivalent_queries_share_one_result_entry():
+    cache = equivalence_cache()
+    cold = Query(PAR, EngineOptions(cache=cache)).run(LOG)
+
+    other = Query(CHO, EngineOptions(cache=cache))
+    warm = other.run(LOG)
+    assert other.last_cache_layer == "result"
+    assert warm.to_rows() == cold.to_rows()
+    assert warm.to_rows() == Query(CHO).run(LOG).to_rows()  # vs cold truth
+
+
+def test_default_policy_keeps_the_entries_distinct():
+    cache = QueryCache()  # equivalence_keys off by default
+    Query(PAR, EngineOptions(cache=cache)).run(LOG)
+    other = Query(CHO, EngineOptions(cache=cache))
+    other.run(LOG)
+    assert other.last_cache_layer != "result"
+
+
+def test_non_equivalent_queries_never_collide():
+    cache = equivalence_cache()
+    first = Query(Sequential(A, B), EngineOptions(cache=cache)).run(LOG)
+    other = Query(Sequential(B, A), EngineOptions(cache=cache))
+    second = other.run(LOG)
+    assert other.last_cache_layer != "result"
+    assert first.to_rows() != second.to_rows()
+
+
+def test_ac_variants_still_hit_under_equivalence_keys():
+    cache = equivalence_cache()
+    Query(Choice(A, B), EngineOptions(cache=cache)).run(LOG)
+    other = Query(Choice(B, A), EngineOptions(cache=cache))
+    other.run(LOG)
+    assert other.last_cache_layer == "result"
+
+
+def test_unsupported_patterns_fall_back_to_canonical_keys():
+    from repro.extensions.conditions import Guarded
+
+    cache = equivalence_cache()
+    pattern = Guarded("A")  # outside the prover's fragment
+    query = Query(pattern, EngineOptions(cache=cache))
+    cold = query.run(LOG)
+    warm = query.run(LOG)
+    assert query.last_cache_layer == "result"  # AC-canonical fallback key
+    assert warm.to_rows() == cold.to_rows()
+
+
+def test_equivalence_keyed_run_is_byte_for_byte_cold():
+    cache = equivalence_cache()
+    cold = Query(PAR).run(LOG)
+    first = Query(PAR, EngineOptions(cache=cache)).run(LOG)
+    second = Query(CHO, EngineOptions(cache=cache)).run(LOG)
+    assert first.to_rows() == cold.to_rows()
+    assert second.to_rows() == Query(CHO).run(LOG).to_rows()
+    assert cache.stats()["result_hits"] >= 1

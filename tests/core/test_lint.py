@@ -15,6 +15,7 @@ from repro.core.lint import (
     Linter,
     Severity,
     format_diagnostics,
+    lint_batch,
     lint_pattern,
 )
 from repro.core.model import Log
@@ -310,6 +311,9 @@ class TestDiagnosticObjects:
         emitted.update(codes(Linter().lint("A & B & A")))
         emitted.update(codes(Linter().lint("A ; B ; C ; D ; E ; F ; G ; H")))
         emitted.update(codes(Linter().lint("(A ; B) | (A ; C)")))
+        emitted.update(codes(Linter().lint("(A ; B) | (A -> B)")))
+        for diagnostics in lint_batch(["A ; B", "A -> B"]):
+            emitted.update(codes(diagnostics))
         assert emitted == set(DIAGNOSTIC_CODES)
 
     def test_format_with_text_renders_caret(self):

@@ -122,6 +122,7 @@ class TestRegistry:
             "optimizer",
             "parallel",
             "batch",
+            "analysis",
             "incremental",
             "cache",
         }
