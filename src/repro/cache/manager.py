@@ -296,6 +296,28 @@ class QueryCache:
                 "memo_bytes": self._memo.total_bytes,
             }
 
+    #: Counters the journal attributes to individual queries.
+    _ATTRIBUTED = ("result_hits", "result_misses", "memo_hits", "memo_misses")
+
+    def attribution(
+        self, since: dict[str, int] | None = None
+    ) -> dict[str, int]:
+        """Per-query hit attribution over the shared counters.
+
+        The layer counters are process-wide totals; to attribute hits to
+        one query, snapshot before (``since=None`` returns the current
+        hit/miss counters) and diff after (pass the snapshot back to get
+        the query's own delta).  :class:`~repro.core.query.Query` feeds
+        the delta into the journal's terminal ``finish`` event.
+        """
+        snapshot = self.stats()
+        if since is None:
+            return {name: snapshot[name] for name in self._ATTRIBUTED}
+        return {
+            name: snapshot[name] - since.get(name, 0)
+            for name in self._ATTRIBUTED
+        }
+
     def _publish(self) -> None:
         """Mirror the layer counters into the bound registry.
 

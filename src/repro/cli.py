@@ -33,12 +33,21 @@ Subcommands
   issues noise-aware pass/regress verdicts against a baseline,
   ``bench report`` prints the recorded trajectory, ``bench list`` the
   registered cases;
+* ``events``    — query/filter/tail a ``repro.obs.journal/v1`` JSONL
+  journal (``--slow-ms`` is the slow-query log view);
+* ``top``       — per-pattern resource ranking over a journal;
 * ``convert``   — transcode between jsonl / csv / xes.
 
 ``query``, ``profile`` and ``batch`` accept ``--jobs N`` to evaluate over
 wid-disjoint shards on a process pool (see ``docs/PARALLELISM.md``);
 results are identical to serial evaluation.  ``query --progress`` adds
 per-shard completion feedback on stderr.
+
+``query`` and ``batch`` accept ``--journal PATH`` (append the run's
+lifecycle events as JSONL) and the resource-governor budgets
+``--deadline-ms`` / ``--max-pairs``; a run killed by the governor exits
+with the dedicated code **4** (see ``docs/OBSERVABILITY.md``), after
+recording a terminal ``killed`` journal event.
 
 Log formats are inferred from file extensions (``.jsonl``, ``.csv``,
 ``.xes``/``.xml``); ``-`` reads from stdin / writes to stdout as JSONL.
@@ -56,7 +65,7 @@ from pathlib import Path
 
 from repro.analytics.anomaly import clinic_rules, loan_rules, order_rules
 from repro.cache import CachePolicy, QueryCache
-from repro.core.errors import ReproError
+from repro.core.errors import QueryGovernorError, ReproError
 from repro.core.lint import Linter, Severity, format_diagnostics
 from repro.core.model import Log
 from repro.core.options import EngineOptions
@@ -75,6 +84,8 @@ from repro.logstore import (
     write_xes,
 )
 from repro.obs import MetricsRegistry, Tracer, enable_verbose, metrics_to_dict, render_trace
+from repro.obs.journal import EVENT_KINDS as JOURNAL_EVENT_KINDS
+from repro.obs.journal import TOP_KEYS as JOURNAL_TOP_KEYS
 from repro.workflow.engine import SimulationConfig, WorkflowEngine
 from repro.workflow.models import (
     clinic_referral_workflow,
@@ -127,6 +138,32 @@ def _save_log(log: Log, path: str) -> None:
         raise ReproError(
             f"cannot infer log format from {path!r}; use .jsonl, .csv or .xes"
         )
+
+
+def _add_governor_arguments(command: argparse.ArgumentParser) -> None:
+    """The journal/governor flags shared by ``query`` and ``batch``."""
+    command.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append the run's lifecycle events to this JSONL journal "
+        "(repro.obs.journal/v1; inspect with `repro-logs events/top`)",
+    )
+    command.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock budget; a run past it is killed with exit code 4",
+    )
+    command.add_argument(
+        "--max-pairs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="budget on pairs examined; a run past it is killed with "
+        "exit code 4",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -238,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate N times, timing each run on stderr — with --cache "
         "the warm runs demonstrate the result layer",
     )
+    _add_governor_arguments(query)
 
     profile = commands.add_parser(
         "profile",
@@ -354,6 +392,92 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_commands.add_parser("list", help="list the registered cases")
 
+    bench_history = bench_commands.add_parser(
+        "history", help="inspect or prune the recorded history file"
+    )
+    bench_history.add_argument(
+        "--history", default="BENCH_history.jsonl", help="history file"
+    )
+    bench_history.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print only the newest N runs",
+    )
+    bench_history.add_argument(
+        "--prune",
+        action="store_true",
+        help="rewrite the file keeping only the newest --keep runs",
+    )
+    bench_history.add_argument(
+        "--keep",
+        type=int,
+        default=50,
+        metavar="N",
+        help="runs to keep with --prune (default 50)",
+    )
+
+    events = commands.add_parser(
+        "events", help="query/filter/tail a query-lifecycle journal"
+    )
+    events.add_argument(
+        "--journal", required=True, metavar="PATH", help="JSONL journal file"
+    )
+    events.add_argument(
+        "--query-id", default=None, help="only this query's events"
+    )
+    events.add_argument(
+        "--kind",
+        action="append",
+        choices=JOURNAL_EVENT_KINDS,
+        default=None,
+        help="only these event kinds (repeatable)",
+    )
+    events.add_argument(
+        "--pattern",
+        default=None,
+        help="substring match on the event's pattern field",
+    )
+    events.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="slow-query log: terminal events at/above this wall time, "
+        "slowest first (combines with the other filters)",
+    )
+    events.add_argument(
+        "--tail", type=int, default=None, metavar="N", help="newest N events"
+    )
+    events.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip schema validation while loading",
+    )
+    events.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+
+    top = commands.add_parser(
+        "top", help="per-pattern resource ranking over a journal"
+    )
+    top.add_argument(
+        "--journal", required=True, metavar="PATH", help="JSONL journal file"
+    )
+    top.add_argument(
+        "--by",
+        choices=JOURNAL_TOP_KEYS,
+        default="wall_ms",
+        help="ranking key (default wall_ms)",
+    )
+    top.add_argument(
+        "--limit", type=int, default=10, metavar="N", help="rows to print"
+    )
+    top.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+
     batch = commands.add_parser(
         "batch",
         help="evaluate several patterns in one shared-scan pass",
@@ -412,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve repeated patterns from the result cache and persist "
         "subpattern memos across the batch (in-process backends)",
     )
+    _add_governor_arguments(batch)
 
     analyze = commands.add_parser(
         "analyze",
@@ -644,6 +769,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.cache_bytes is not None:
             policy = policy.with_budget(args.cache_bytes)
         cache = QueryCache(policy, metrics=registry)
+    journal = None
+    if args.journal is not None:
+        from repro.obs.journal import QueryJournal
+
+        journal = QueryJournal(args.journal, metrics=registry)
     query = Query(
         parsed.pattern,
         EngineOptions(
@@ -656,49 +786,58 @@ def _cmd_query(args: argparse.Namespace) -> int:
             backend=args.backend,
             progress=_shard_progress(sys.stderr) if args.progress else None,
             cache=cache,
+            deadline_ms=args.deadline_ms,
+            max_pairs=args.max_pairs,
+            journal=journal,
         ),
     )
     if args.explain:
         print(query.explain(log))
         print()
 
-    # warm-up repeats (timed on stderr); the final run produces the output
-    runs = max(1, args.repeat)
-    for attempt in range(1, runs):
-        started = time.perf_counter()
-        query.run(log)
-        elapsed_ms = (time.perf_counter() - started) * 1e3
-        layer = query.last_cache_layer or "none"
-        print(
-            f"run {attempt}/{runs}: {elapsed_ms:.2f} ms  (cache: {layer})",
-            file=sys.stderr,
-        )
-
-    started = time.perf_counter()
-    if args.mode == "exists":
-        print("yes" if query.exists(log) else "no")
-    elif args.mode == "count":
-        print(query.count(log))
-    elif args.mode == "instances":
-        print(" ".join(map(str, query.matching_instances(log))))
-    else:
-        incidents = query.run(log)
-        print(f"{len(incidents)} incident(s)")
-        for i, incident in enumerate(incidents):
-            if i >= args.limit:
-                print(f"... ({len(incidents) - args.limit} more)")
-                break
-            members = ", ".join(
-                f"l{r.lsn}:{r.activity}@{r.is_lsn}" for r in incident
+    try:
+        # warm-up repeats (timed on stderr); the final run produces the output
+        runs = max(1, args.repeat)
+        for attempt in range(1, runs):
+            started = time.perf_counter()
+            query.run(log)
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            layer = query.last_cache_layer or "none"
+            print(
+                f"run {attempt}/{runs}: {elapsed_ms:.2f} ms  (cache: {layer})",
+                file=sys.stderr,
             )
-            print(f"  wid={incident.wid}  {{{members}}}")
-    if runs > 1:
-        elapsed_ms = (time.perf_counter() - started) * 1e3
-        layer = query.last_cache_layer or "none"
-        print(
-            f"run {runs}/{runs}: {elapsed_ms:.2f} ms  (cache: {layer})",
-            file=sys.stderr,
-        )
+
+        started = time.perf_counter()
+        if args.mode == "exists":
+            print("yes" if query.exists(log) else "no")
+        elif args.mode == "count":
+            print(query.count(log))
+        elif args.mode == "instances":
+            print(" ".join(map(str, query.matching_instances(log))))
+        else:
+            incidents = query.run(log)
+            print(f"{len(incidents)} incident(s)")
+            for i, incident in enumerate(incidents):
+                if i >= args.limit:
+                    print(f"... ({len(incidents) - args.limit} more)")
+                    break
+                members = ", ".join(
+                    f"l{r.lsn}:{r.activity}@{r.is_lsn}" for r in incident
+                )
+                print(f"  wid={incident.wid}  {{{members}}}")
+        if runs > 1:
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            layer = query.last_cache_layer or "none"
+            print(
+                f"run {runs}/{runs}: {elapsed_ms:.2f} ms  (cache: {layer})",
+                file=sys.stderr,
+            )
+    finally:
+        # the journal owns its stream: close even on a governor kill so
+        # the terminal `killed` event is flushed to disk
+        if journal is not None:
+            journal.close()
     if cache is not None:
         print(f"cache: served by {query.last_cache_layer or 'none (cold)'}")
     if tracer is not None:
@@ -828,6 +967,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 0
         return 0 if report.ok else 1
 
+    if args.bench_command == "history":
+        from repro.obs.bench import prune_history
+
+        if args.prune:
+            dropped, kept = prune_history(args.history, keep=args.keep)
+            print(f"pruned {dropped} run(s), kept {kept} in {args.history}")
+            return 0
+        documents = load_history(args.history)
+        if not documents:
+            print(f"no history at {args.history}")
+            return 0
+        shown = documents[-args.tail:] if args.tail else documents
+        for document in shown:
+            stamp = _format_unix(int(document.get("created_unix", 0)))
+            cases = document.get("cases", [])
+            total_ms = sum(c["stats"]["median_s"] for c in cases) * 1e3
+            print(
+                f"{stamp}  suite={document.get('suite', '?'):8s}  "
+                f"{len(cases):2d} case(s)  sum-of-medians {total_ms:9.3f}ms"
+            )
+        print(
+            f"--- showing {len(shown)} of {len(documents)} recorded run(s) "
+            f"in {args.history} ---"
+        )
+        return 0
+
     assert args.bench_command == "report"
     documents = load_history(args.history)
     if not documents:
@@ -913,16 +1078,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for text, diagnostics in zip(patterns, lint_batch(patterns, log=log)):
             for diagnostic in diagnostics:
                 print(f"{text}: {diagnostic.format()}", file=sys.stderr)
-    result = evaluate_batch(
-        log,
-        patterns,
-        optimize=not args.no_optimize,
-        analyze=not args.no_analyze,
-        jobs=args.jobs,
-        backend=args.backend,
-        max_incidents=args.max_incidents,
-        cache=QueryCache() if args.cache else None,
-    )
+    journal = None
+    if args.journal is not None:
+        from repro.obs.journal import QueryJournal
+
+        journal = QueryJournal(args.journal)
+    try:
+        result = evaluate_batch(
+            log,
+            patterns,
+            optimize=not args.no_optimize,
+            analyze=not args.no_analyze,
+            jobs=args.jobs,
+            backend=args.backend,
+            max_incidents=args.max_incidents,
+            cache=QueryCache() if args.cache else None,
+            deadline_ms=args.deadline_ms,
+            max_pairs=args.max_pairs,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     for text, incidents in zip(patterns, result.results):
         print(f"{len(incidents):6d}  {text}")
     summary = (
@@ -934,6 +1111,89 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.cache:
         summary += f", {result.cache_hits} cached result(s)"
     print(summary + " ---")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from repro.obs.export import SchemaError
+    from repro.obs.journal import filter_events, read_journal, slow_queries
+
+    try:
+        events = read_journal(args.journal, validate=not args.no_validate)
+    except FileNotFoundError:
+        raise ReproError(f"no journal at {args.journal!r}") from None
+    except SchemaError as exc:
+        raise ReproError(f"{args.journal}: {exc}") from None
+    selected = filter_events(
+        events,
+        query_id=args.query_id,
+        kinds=args.kind,
+        pattern=args.pattern,
+    )
+    if args.slow_ms is not None:
+        selected = slow_queries(selected, threshold_ms=args.slow_ms)
+    if args.tail is not None and args.tail >= 0:
+        selected = selected[len(selected) - args.tail:]
+    if args.format == "json":
+        print(json.dumps(selected, indent=2, ensure_ascii=False))
+        return 0
+    for event in selected:
+        extra = ""
+        kind = event.get("event")
+        if kind == "submit":
+            extra = f"op={event.get('op')} pattern={event.get('pattern')!r}"
+        elif kind == "plan":
+            extra = f"changed={event.get('changed')} -> {event.get('optimized')!r}"
+        elif kind == "cache":
+            extra = f"probe={event.get('probe')} hit={event.get('hit')}"
+        elif kind == "shard":
+            extra = (
+                f"shards={event.get('shards')} backend={event.get('backend')} "
+                f"jobs={event.get('jobs')}"
+            )
+        elif kind == "evaluate":
+            extra = f"pairs={event.get('pairs')} incidents={event.get('incidents')}"
+            if "shard" in event:
+                extra = f"shard={event.get('shard')} pid={event.get('pid')} " + extra
+        elif kind in ("finish", "killed"):
+            extra = (
+                f"wall={event.get('wall_ms', 0):.2f}ms "
+                f"pairs={event.get('pairs')} pattern={event.get('pattern')!r}"
+            )
+            if kind == "killed":
+                extra = f"reason={event.get('reason')} " + extra
+        print(f"{event.get('seq', '?'):>5}  {event.get('query_id')}  "
+              f"{str(kind):8s} {extra}")
+    print(f"--- {len(selected)} of {len(events)} event(s) ---")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.export import SchemaError
+    from repro.obs.journal import read_journal, top_patterns
+
+    try:
+        events = read_journal(args.journal, validate=False)
+    except FileNotFoundError:
+        raise ReproError(f"no journal at {args.journal!r}") from None
+    except SchemaError as exc:
+        raise ReproError(f"{args.journal}: {exc}") from None
+    rows = top_patterns(events, by=args.by, limit=args.limit)
+    if args.format == "json":
+        print(json.dumps(rows, indent=2, ensure_ascii=False))
+        return 0
+    header = (
+        f"{'runs':>5} {'killed':>6} {'wall_ms':>10} {'cpu_ms':>10} "
+        f"{'pairs':>10} {'peak_bytes':>11}  pattern"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['runs']:>5} {row['killed']:>6} {row['wall_ms']:>10.2f} "
+            f"{row['cpu_ms']:>10.2f} {row['pairs']:>10} "
+            f"{row['peak_alloc_bytes']:>11}  {row['pattern']}"
+        )
+    print(f"--- {len(rows)} pattern(s), ranked by {args.by} ---")
     return 0
 
 
@@ -1044,6 +1304,8 @@ _HANDLERS = {
     "profile": _cmd_profile,
     "bench": _cmd_bench,
     "batch": _cmd_batch,
+    "events": _cmd_events,
+    "top": _cmd_top,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
     "stats": _cmd_stats,
@@ -1062,6 +1324,11 @@ def main(argv: list[str] | None = None) -> int:
     enable_verbose(args.verbose)
     try:
         return _HANDLERS[args.command](args)
+    except QueryGovernorError as exc:
+        # the resource governor killed the run: dedicated exit code so
+        # pipelines can tell "over budget" from "bad input" (code 2)
+        print(f"killed: {exc}", file=sys.stderr)
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

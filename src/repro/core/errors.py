@@ -73,6 +73,95 @@ class BudgetExceededError(EvaluationError):
         self.limit = limit
 
 
+def _rebuild_error(cls: type, message: str, attrs: dict) -> Exception:
+    """Reconstruct a governor error from pickled state.
+
+    The governor errors carry keyword-only attributes (partial stats,
+    budget values); a plain ``Exception.__reduce__`` would re-invoke the
+    constructor with positional args only and fail.  Workers raise these
+    across a ``ProcessPoolExecutor`` boundary, so they must round-trip.
+    """
+    err = cls.__new__(cls)
+    Exception.__init__(err, message)
+    err.__dict__.update(attrs)
+    return err
+
+
+class QueryGovernorError(EvaluationError):
+    """A resource governor stopped a query before completion.
+
+    Base of the typed budget errors raised at the cooperative engine
+    checkpoints (see ``docs/OBSERVABILITY.md``).  Attributes:
+
+    partial_stats:
+        Detached :class:`~repro.core.eval.base.EvaluationStats` snapshot
+        taken at the checkpoint that tripped — what the query had cost
+        when it was killed — or ``None`` when the failing code path keeps
+        no pairwise stats (the counting DP charges abstract work units).
+    """
+
+    def __init__(self, message: str, *, partial_stats: object | None = None):
+        super().__init__(message)
+        self.partial_stats = partial_stats
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args[0], self.__dict__.copy()))
+
+
+class QueryBudgetExceeded(QueryGovernorError):
+    """A query examined more pairs than its ``max_pairs`` budget allows.
+
+    Attributes
+    ----------
+    limit:
+        The configured ``max_pairs`` budget.
+    examined:
+        Pairs (or equivalent work units) examined when the budget tripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit: int,
+        examined: int,
+        partial_stats: object | None = None,
+    ):
+        super().__init__(message, partial_stats=partial_stats)
+        self.limit = limit
+        self.examined = examined
+
+
+class QueryTimeout(QueryGovernorError):
+    """A query ran past its ``deadline_ms`` wall-clock budget.
+
+    Attributes
+    ----------
+    deadline_ms:
+        The configured budget in milliseconds (None when the governor was
+        built from an absolute deadline only).
+    elapsed_ms:
+        Wall time elapsed when the deadline check tripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_ms: float | None = None,
+        elapsed_ms: float | None = None,
+        partial_stats: object | None = None,
+    ):
+        super().__init__(message, partial_stats=partial_stats)
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+
+
+class QueryCancelled(QueryGovernorError):
+    """A query was cancelled cooperatively (a sibling shard tripped its
+    budget, so the executor asked the remaining shards to stop)."""
+
+
 class OptimizerError(ReproError):
     """The query optimizer produced or detected an inconsistent plan."""
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.errors import BudgetExceededError
 from repro.core.incident import IncidentSet
@@ -12,6 +13,9 @@ from repro.core.pattern import Atomic, Pattern
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.governor import ResourceGovernor
 
 __all__ = ["Engine", "EvaluationStats", "node_label"]
 
@@ -129,6 +133,13 @@ class Engine(ABC):
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving the
         ``engine.*`` counter family.
+    governor:
+        Optional :class:`~repro.core.governor.ResourceGovernor` consulted
+        at the engine's cooperative checkpoints (per workflow instance
+        and per operator node).  Unlike ``max_incidents`` — which guards
+        materialised set sizes — the governor bounds *work* (pairs
+        examined, wall clock) and cooperative cancellation.  Queries set
+        it per run; it may also be passed at construction.
     """
 
     name = "abstract"
@@ -139,10 +150,12 @@ class Engine(ABC):
         max_incidents: int | None = None,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        governor: "ResourceGovernor | None" = None,
     ):
         self.max_incidents = max_incidents
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.governor = governor
         self.last_stats: EvaluationStats | None = None
 
     @property
@@ -183,6 +196,21 @@ class Engine(ABC):
     def count(self, log: Log, pattern: Pattern) -> int:
         """Number of incidents of ``pattern`` in ``log``."""
         return len(self.evaluate(log, pattern))
+
+    def _checkpoint(self, stats: EvaluationStats) -> None:
+        """One cooperative governor checkpoint.
+
+        Engines call this per workflow instance and per operator node;
+        when a governor is installed and a budget is blown, the typed
+        :class:`~repro.core.errors.QueryGovernorError` propagates with a
+        detached partial-stats snapshot.  ``stats`` is installed as
+        ``last_stats`` first, so callers inspecting the engine after a
+        kill still see what the evaluation had cost.
+        """
+        governor = self.governor
+        if governor is not None:
+            self.last_stats = stats
+            governor.check(stats)
 
     def _check_budget(self, size: int) -> None:
         if self.max_incidents is not None and size > self.max_incidents:

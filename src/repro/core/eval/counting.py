@@ -25,6 +25,7 @@ materialisation automatically.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING
 
 from repro.core.errors import EvaluationError
 from repro.core.algebra import flatten_chain
@@ -32,6 +33,9 @@ from repro.core.model import Log
 from repro.core.pattern import Atomic, Consecutive, Pattern, Sequential
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.governor import ResourceGovernor
 
 __all__ = ["supports_counting", "count_incidents"]
 
@@ -50,12 +54,16 @@ def count_incidents(
     *,
     tracer: Tracer | NullTracer = NULL_TRACER,
     metrics: MetricsRegistry | None = None,
+    governor: "ResourceGovernor | None" = None,
 ) -> int:
     """Exact ``|incL(pattern)|`` for a supported chain pattern.
 
     The counting DP never materialises incident sets, so its trace is a
     single ``count`` span (chain length and instance count as metrics)
-    rather than a per-node tree.
+    rather than a per-node tree.  The DP examines positions, not pairs,
+    so a governor's ``max_pairs`` budget is charged one unit per scanned
+    candidate position (the DP's own cost driver) at the per-instance
+    checkpoint.
     """
     if not supports_counting(pattern):
         raise EvaluationError(
@@ -66,7 +74,13 @@ def count_incidents(
     total = 0
     with tracer.span("count", key=(), pattern=str(pattern)) as span:
         for wid in log.wids:
-            total += _count_instance(log, wid, items, gaps)
+            if governor is not None:
+                governor.check()
+            count, scanned = _count_instance(log, wid, items, gaps)
+            total += count
+            if governor is not None:
+                governor.charge(scanned)
+                governor.check()
         span.add(instances=len(log.wids), chain_length=len(items), incidents=total)
     if metrics is not None:
         metrics.counter("engine.counting_evals").inc()
@@ -74,14 +88,17 @@ def count_incidents(
     return total
 
 
-def _count_instance(log: Log, wid: int, items, gaps) -> int:
+def _count_instance(log: Log, wid: int, items, gaps) -> tuple[int, int]:
+    """(incident count, candidate positions scanned) for one instance."""
     trace = log.instance(wid)
+    scanned = 0
     # candidate positions per leaf, ascending
     position_lists: list[list[int]] = []
     for leaf in items:
         positions = [r.is_lsn for r in trace if leaf.matches(r)]
         if not positions:
-            return 0
+            return 0, scanned
+        scanned += len(positions)
         position_lists.append(positions)
 
     # g for the last leaf: one incident per candidate
@@ -117,4 +134,4 @@ def _count_instance(log: Log, wid: int, items, gaps) -> int:
                 new_weights.append(prefix[-1] - prefix[low])
         weights = new_weights
 
-    return sum(weights)
+    return sum(weights), scanned

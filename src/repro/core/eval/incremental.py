@@ -42,6 +42,7 @@ Example
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.errors import BudgetExceededError, EvaluationError
 from repro.core.eval.base import EvaluationStats, node_label
@@ -58,6 +59,9 @@ from repro.core.pattern import (
     Pattern,
     Sequential,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.governor import ResourceGovernor
 
 __all__ = ["IncrementalEvaluator"]
 
@@ -123,6 +127,10 @@ class IncrementalEvaluator:
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` fed through
         the evaluator's :class:`EvaluationStats` adapter (``stats``).
+    governor:
+        Optional :class:`~repro.core.governor.ResourceGovernor` checked
+        once per appended record — the stream's natural cooperative
+        checkpoint.
     """
 
     def __init__(
@@ -133,10 +141,12 @@ class IncrementalEvaluator:
         max_incidents: int | None = None,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        governor: "ResourceGovernor | None" = None,
     ):
         self.pattern = pattern
         self.max_incidents = max_incidents
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.governor = governor
         self.stats = EvaluationStats(registry=metrics)
         self._root = _Node(pattern)
         self._last_lsn = 0
@@ -169,8 +179,14 @@ class IncrementalEvaluator:
         self._next_is_lsn[record.wid] = expected + 1
         self._records_seen += 1
 
+        if self.governor is not None:
+            self.governor.check(self.stats)
         with self.tracer.span("evaluate", key=(), pattern=str(self.pattern)):
             delta = self._propagate(self._root, record, "root")
+        if self.governor is not None:
+            # re-check after propagation so one explosive append (a large
+            # delta join) cannot outrun the budget until the next record
+            self.governor.check(self.stats)
         if self.max_incidents is not None:
             total = sum(
                 len(s.incidents) for s in self._root.state.values()

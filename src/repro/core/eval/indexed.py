@@ -58,6 +58,7 @@ class IndexedEngine(Engine):
         out: list[Incident] = []
         with self.tracer.span("evaluate", key=(), engine=self.name, pattern=str(pattern)):
             for wid in log.wids:
+                self._checkpoint(stats)
                 out.extend(self._eval_node(log, wid, pattern, stats, "root"))
             self._check_budget(len(out))
             stats.note_live(len(out))
@@ -73,7 +74,11 @@ class IndexedEngine(Engine):
 
         if supports_counting(pattern):
             return count_incidents(
-                log, pattern, tracer=self.tracer, metrics=self.metrics
+                log,
+                pattern,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                governor=self.governor,
             )
         return len(self.evaluate(log, pattern))
 
@@ -86,12 +91,15 @@ class IndexedEngine(Engine):
         instance by instance so a hit in an early instance stops the scan.
         """
         if _greedy_safe(pattern):
-            return any(
-                _earliest_end(log.instance(wid), pattern, 1) is not None
-                for wid in log.wids
-            )
+            stats = self._new_stats()
+            for wid in log.wids:
+                self._checkpoint(stats)
+                if _earliest_end(log.instance(wid), pattern, 1) is not None:
+                    return True
+            return False
         stats = self._new_stats()
         for wid in log.wids:
+            self._checkpoint(stats)
             if self._eval_node(log, wid, pattern, stats):
                 self._finish(stats)
                 return True
@@ -135,6 +143,7 @@ class IndexedEngine(Engine):
                     n2=len(right),
                     pairs=stats.pairs_examined - pairs_before,
                 )
+                self._checkpoint(stats)
             self._check_budget(len(result))
             stats.note_live(len(result))
             stats.incidents_produced += len(result)

@@ -149,6 +149,7 @@ class NaiveEngine(Engine):
         incidents: list[Incident] = []
         with self.tracer.span("evaluate", key=(), engine=self.name, pattern=str(pattern)):
             for wid in log.wids:
+                self._checkpoint(stats)
                 incidents.extend(self._eval_node(log, wid, pattern, stats, "root"))
             self._check_budget(len(incidents))
             stats.note_live(len(incidents))
@@ -196,6 +197,7 @@ class NaiveEngine(Engine):
                     n2=len(right),
                     pairs=stats.pairs_examined - pairs_before,
                 )
+                self._checkpoint(stats)
             self._check_budget(len(result))
             stats.note_live(len(result))
             stats.incidents_produced += len(result)

@@ -1,0 +1,259 @@
+"""Per-query resource governor: budgets, deadlines, cancellation.
+
+The paper's evaluation model runs every query to completion, but the
+ROADMAP's long-running service cannot: incident sets are worst-case
+exponential (Theorem 1) and pairwise operators quadratic (Lemma 1), so
+one pathological pattern can starve a whole worker.  This module is the
+admission-control half of the observability journal (PR 7):
+
+* :class:`QueryContext` — the frozen, picklable identity + budget record
+  that travels with a query across thread *and* process backends.  The
+  deadline is stored as an **absolute** wall-clock instant
+  (``deadline_unix``) precisely so that process workers, which cannot
+  share a monotonic clock with the parent, all observe the same cutoff.
+* :class:`ResourceGovernor` — the per-process enforcement object.
+  Engines call :meth:`ResourceGovernor.check` at cooperative checkpoints
+  (per workflow instance and per operator node); the governor raises the
+  typed :class:`~repro.core.errors.QueryTimeout` /
+  :class:`~repro.core.errors.QueryBudgetExceeded` /
+  :class:`~repro.core.errors.QueryCancelled` carrying a detached partial
+  :class:`~repro.core.eval.base.EvaluationStats` snapshot.
+* :class:`CancelToken` — a shared flag for in-process sibling shards.
+  It wraps :class:`threading.Event` and is deliberately **not** sent to
+  process workers (events do not pickle); process shards self-enforce
+  via the absolute deadline instead, and the executor cancels their
+  queued siblings with ``cancel_futures``.
+
+Checkpoints are cooperative by design: no signals, no threads killed
+mid-operation, so partially built incident sets are simply dropped and
+every engine invariant holds on the unwind path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.errors import QueryBudgetExceeded, QueryCancelled, QueryTimeout, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.eval.base import EvaluationStats
+
+__all__ = ["QueryContext", "ResourceGovernor", "CancelToken", "new_query_id", "new_trace_id"]
+
+
+def new_query_id() -> str:
+    """A fresh query identifier (``q-`` + 16 hex chars)."""
+    return "q-" + uuid.uuid4().hex[:16]
+
+
+def new_trace_id() -> str:
+    """A fresh trace identifier (``t-`` + 16 hex chars)."""
+    return "t-" + uuid.uuid4().hex[:16]
+
+
+class CancelToken:
+    """A cooperative cancellation flag shared by in-process shards.
+
+    Not picklable on purpose — see the module docstring for how process
+    backends achieve promptness without one.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CancelToken(set={self.is_set()})"
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """Identity and budgets of one query, picklable across backends.
+
+    ``query_id`` names the query submission; ``trace_id`` names the
+    execution attempt.  Both are stamped on every journal event emitted
+    for this query — including per-shard worker events — which is what
+    lets :mod:`repro.obs.journal` stitch a parallel run back into one
+    lifecycle record.
+    """
+
+    query_id: str
+    trace_id: str
+    deadline_unix: float | None = None
+    deadline_ms: float | None = None
+    max_pairs: int | None = None
+    journal: bool = False
+
+    @classmethod
+    def new(
+        cls,
+        *,
+        deadline_ms: float | None = None,
+        max_pairs: int | None = None,
+        journal: bool = False,
+        clock: Callable[[], float] = time.time,
+    ) -> "QueryContext":
+        """Mint a context at submission time.
+
+        The relative ``deadline_ms`` budget is converted to an absolute
+        ``deadline_unix`` here, once, so every worker — thread or process
+        — measures against the same instant.
+        """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ReproError(f"deadline_ms must be > 0, got {deadline_ms}")
+        if max_pairs is not None and max_pairs < 1:
+            raise ReproError(f"max_pairs must be >= 1, got {max_pairs}")
+        deadline_unix = None if deadline_ms is None else clock() + deadline_ms / 1000.0
+        return cls(
+            query_id=new_query_id(),
+            trace_id=new_trace_id(),
+            deadline_unix=deadline_unix,
+            deadline_ms=deadline_ms,
+            max_pairs=max_pairs,
+            journal=journal,
+        )
+
+    @property
+    def governed(self) -> bool:
+        """Whether any budget is set (a governor is worth building)."""
+        return self.deadline_unix is not None or self.max_pairs is not None
+
+
+class ResourceGovernor:
+    """Enforces one query's budgets at cooperative checkpoints.
+
+    Parameters
+    ----------
+    deadline_unix:
+        Absolute wall-clock cutoff (``time.time()`` scale), or None.
+    deadline_ms:
+        The original relative budget, kept for error messages only.
+    max_pairs:
+        Cap on ``EvaluationStats.pairs_examined`` (plus any abstract
+        work units charged via :meth:`charge`), or None.
+    cancel:
+        Optional shared :class:`CancelToken`; when set, the next
+        checkpoint raises :class:`~repro.core.errors.QueryCancelled`.
+    clock:
+        Injectable time source for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        deadline_unix: float | None = None,
+        deadline_ms: float | None = None,
+        max_pairs: int | None = None,
+        cancel: CancelToken | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.deadline_unix = deadline_unix
+        self.deadline_ms = deadline_ms
+        self.max_pairs = max_pairs
+        self.cancel = cancel
+        self._clock = clock
+        self._started = clock()
+        self._charged = 0
+
+    @classmethod
+    def from_context(
+        cls,
+        ctx: QueryContext,
+        *,
+        cancel: CancelToken | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> "ResourceGovernor | None":
+        """The governor for ``ctx``, or None when nothing is budgeted."""
+        if not ctx.governed and cancel is None:
+            return None
+        return cls(
+            deadline_unix=ctx.deadline_unix,
+            deadline_ms=ctx.deadline_ms,
+            max_pairs=ctx.max_pairs,
+            cancel=cancel,
+            clock=clock,
+        )
+
+    def charge(self, units: int) -> None:
+        """Charge abstract work units against the ``max_pairs`` budget.
+
+        Used by code paths with no pairwise statistics (the counting DP
+        scans positions, never pairs); the units count toward the same
+        budget so ``max_pairs`` bounds *work*, not just materialisation.
+        """
+        self._charged += units
+
+    def check(self, stats: "EvaluationStats | None" = None) -> None:
+        """One cooperative checkpoint; raises a typed governor error.
+
+        Order matters: cancellation first (a sibling already tripped, so
+        report the cooperative kill, not a coincidental local budget),
+        then the pairs budget, then the deadline.
+        """
+        if self.cancel is not None and self.cancel.is_set():
+            raise QueryCancelled(
+                "query cancelled: a sibling shard exhausted the budget",
+                partial_stats=_detach(stats),
+            )
+        if self.max_pairs is not None:
+            examined = self._charged + (0 if stats is None else stats.pairs_examined)
+            if examined > self.max_pairs:
+                raise QueryBudgetExceeded(
+                    f"query exceeded max_pairs={self.max_pairs} "
+                    f"(examined {examined}); raise the budget or refine "
+                    f"the pattern",
+                    limit=self.max_pairs,
+                    examined=examined,
+                    partial_stats=_detach(stats),
+                )
+        if self.deadline_unix is not None:
+            now = self._clock()
+            if now >= self.deadline_unix:
+                elapsed_ms = (now - self._started) * 1000.0
+                budget = (
+                    f"{self.deadline_ms:g}ms"
+                    if self.deadline_ms is not None
+                    else "the absolute deadline"
+                )
+                raise QueryTimeout(
+                    f"query exceeded its deadline of {budget} "
+                    f"(ran {elapsed_ms:.1f}ms in this process)",
+                    deadline_ms=self.deadline_ms,
+                    elapsed_ms=elapsed_ms,
+                    partial_stats=_detach(stats),
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResourceGovernor(deadline_unix={self.deadline_unix}, "
+            f"max_pairs={self.max_pairs}, cancel={self.cancel!r})"
+        )
+
+
+def _detach(stats: "EvaluationStats | None") -> "EvaluationStats | None":
+    """A registry-free snapshot of ``stats`` safe to carry in an error.
+
+    Detaching prevents double-publishing when the partial stats object
+    outlives the evaluation, and keeps the error picklable (registries
+    hold locks).
+    """
+    if stats is None:
+        return None
+    from repro.core.eval.base import EvaluationStats
+
+    return EvaluationStats(
+        operator_evals=stats.operator_evals,
+        pairs_examined=stats.pairs_examined,
+        incidents_produced=stats.incidents_produced,
+        max_live_incidents=stats.max_live_incidents,
+        per_operator=dict(stats.per_operator),
+    )

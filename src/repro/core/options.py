@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.manager import QueryCache
     from repro.cache.policy import CachePolicy
     from repro.core.eval.base import Engine
+    from repro.obs.journal import QueryJournal
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
 
@@ -77,6 +78,17 @@ class EngineOptions:
         that policy; a :class:`~repro.cache.manager.QueryCache` — that
         cache, shared with whoever else holds it.  See
         ``docs/CACHING.md``.
+    deadline_ms:
+        Wall-clock budget per run, in milliseconds.  Converted to an
+        absolute deadline at submission and enforced cooperatively in
+        every engine (:class:`~repro.core.errors.QueryTimeout` past it).
+    max_pairs:
+        Budget on pairs examined (Lemma 1's cost driver) per run;
+        :class:`~repro.core.errors.QueryBudgetExceeded` past it.
+    journal:
+        Optional :class:`~repro.obs.journal.QueryJournal` receiving the
+        query's lifecycle events (submit/plan/cache/shard/evaluate and a
+        terminal finish or killed record).  See ``docs/OBSERVABILITY.md``.
     """
 
     engine: "str | Engine | None" = None
@@ -91,6 +103,9 @@ class EngineOptions:
         default=None, compare=False
     )
     cache: "QueryCache | CachePolicy | bool | None" = None
+    deadline_ms: float | None = None
+    max_pairs: int | None = None
+    journal: "QueryJournal | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKENDS:
@@ -104,6 +119,15 @@ class EngineOptions:
                 f"unknown shard strategy {self.strategy!r}; "
                 f"available: ('hash', 'range')"
             )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ReproError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.max_pairs is not None and self.max_pairs < 1:
+            raise ReproError(f"max_pairs must be >= 1, got {self.max_pairs}")
+
+    @property
+    def governed(self) -> bool:
+        """Whether any per-run resource budget is configured."""
+        return self.deadline_ms is not None or self.max_pairs is not None
 
     @property
     def is_parallel(self) -> bool:
@@ -123,6 +147,8 @@ class EngineOptions:
             "jobs",
             "backend",
             "cache",
+            "deadline_ms",
+            "max_pairs",
         ):
             value = getattr(self, name)
             if value is not None:

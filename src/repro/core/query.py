@@ -27,11 +27,12 @@ from __future__ import annotations
 import warnings
 from typing import Any
 
-from repro.core.errors import ReproError
+from repro.core.errors import QueryGovernorError, ReproError
 from repro.core.eval.base import Engine
 from repro.core.eval.indexed import IndexedEngine
 from repro.core.eval.naive import NaiveEngine
 from repro.core.eval.tree import render_tree
+from repro.core.governor import QueryContext, ResourceGovernor
 from repro.core.incident import IncidentSet
 from repro.core.model import Log
 from repro.core.optimizer.planner import OptimizedPlan, Optimizer
@@ -247,7 +248,7 @@ class Query:
         parallel executor."""
         return self.options.is_parallel
 
-    def _executor(self):
+    def _executor(self, ctx: QueryContext | None = None):
         """Build the parallel executor for this query's configuration
         (imported lazily — :mod:`repro.exec` is optional machinery).
 
@@ -268,7 +269,53 @@ class Query:
             tracer=tracer,
             metrics=opts.metrics,
             progress=opts.progress,
+            ctx=ctx,
+            journal=opts.journal,
         )
+
+    def _begin_run(self, op: str):
+        """Mint the per-run query context, recorder and governor.
+
+        One context per ``run``/``exists``/``count`` call: budgets are
+        measured from submission (the deadline is converted to an
+        absolute wall-clock cutoff here), and the ``query_id``/
+        ``trace_id`` stamped on every journal event are fresh per run.
+        Serial runs attach the governor to the live engine; parallel
+        runs ship the context instead and let each worker build its own.
+        """
+        opts = self.options
+        ctx: QueryContext | None = None
+        recorder = None
+        if opts.journal is not None or opts.governed:
+            ctx = QueryContext.new(
+                deadline_ms=opts.deadline_ms,
+                max_pairs=opts.max_pairs,
+                journal=opts.journal is not None,
+            )
+        if opts.journal is not None and ctx is not None:
+            from repro.obs.journal import RunRecorder
+
+            recorder = RunRecorder(
+                opts.journal, ctx, pattern=str(self.pattern), op=op
+            )
+            recorder.submit()
+        governor = None
+        if ctx is not None and ctx.governed and not self.is_parallel:
+            governor = ResourceGovernor.from_context(ctx)
+        self.engine.governor = governor
+        return ctx, recorder
+
+    def _finish_run(self, recorder, *, stats, incidents, cache_before, **payload):
+        """Emit the terminal ``finish`` event with cache attribution."""
+        if recorder is None:
+            return
+        if cache_before is not None and self.cache is not None:
+            delta = self.cache.attribution(cache_before)
+            payload.setdefault("cache_result_hits", delta["result_hits"])
+            payload.setdefault("cache_memo_hits", delta["memo_hits"])
+        if self.last_cache_layer is not None:
+            payload.setdefault("cache_layer", self.last_cache_layer)
+        recorder.finish(stats=stats, incidents=incidents, **payload)
 
     def _result_key(self, log: Log):
         """The result-layer key for this query over ``log``, or None when
@@ -293,40 +340,100 @@ class Query:
         With caching on, a warm result-layer hit returns before the
         optimizer even plans; a cold run is evaluated, stored, and
         reported through :attr:`last_cache_layer`.
+
+        With budgets configured (``deadline_ms``/``max_pairs``) the run
+        is governed: the typed
+        :class:`~repro.core.errors.QueryTimeout` /
+        :class:`~repro.core.errors.QueryBudgetExceeded` carries the
+        partial stats, and a configured journal records the lifecycle
+        ending in a terminal ``finish`` or ``killed`` event.
         """
         self.last_cache_layer = None
-        key = self._result_key(log)
-        hit = self._cached_result(key)
-        if hit is not None:
-            self.last_cache_layer = "result"
-            self.engine.last_stats = hit.stats
-            return hit.incidents
+        ctx, recorder = self._begin_run("run")
+        cache_before = (
+            self.cache.attribution()
+            if recorder is not None and self.cache is not None
+            else None
+        )
+        try:
+            key = self._result_key(log)
+            hit = self._cached_result(key)
+            if recorder is not None and key is not None:
+                recorder.cache_probe(probe="result", hit=hit is not None)
+            if hit is not None:
+                self.last_cache_layer = "result"
+                self.engine.last_stats = hit.stats
+                self._finish_run(
+                    recorder,
+                    stats=hit.stats,
+                    incidents=len(hit.incidents),
+                    cache_before=cache_before,
+                )
+                return hit.incidents
 
-        optimized = self.plan(log).optimized
-        if self.is_parallel:
-            outcome = self._executor().evaluate(log, optimized)
-            self.engine.last_stats = outcome.stats
-            assert outcome.incidents is not None
-            result = outcome.incidents
-        else:
-            memo_before = getattr(self.engine, "memo_hits", 0)
-            result = self.engine.evaluate(log, optimized)
-            if getattr(self.engine, "memo_hits", 0) > memo_before:
-                self.last_cache_layer = "memo"
-        if key is not None:
-            self.cache.put_result(key, result, self.engine.last_stats)
-        return result
+            optimized = self.plan(log).optimized
+            if recorder is not None:
+                recorder.plan(
+                    optimized=str(optimized), changed=optimized != self.pattern
+                )
+            if self.is_parallel:
+                outcome = self._executor(ctx).evaluate(log, optimized)
+                self.engine.last_stats = outcome.stats
+                assert outcome.incidents is not None
+                result = outcome.incidents
+            else:
+                memo_before = getattr(self.engine, "memo_hits", 0)
+                result = self.engine.evaluate(log, optimized)
+                if getattr(self.engine, "memo_hits", 0) > memo_before:
+                    self.last_cache_layer = "memo"
+                if recorder is not None:
+                    stats = self.engine.last_stats
+                    recorder.evaluate(
+                        pairs=0 if stats is None else stats.pairs_examined,
+                        incidents=len(result),
+                    )
+            if key is not None:
+                self.cache.put_result(key, result, self.engine.last_stats)
+            self._finish_run(
+                recorder,
+                stats=self.engine.last_stats,
+                incidents=len(result),
+                cache_before=cache_before,
+            )
+            return result
+        except QueryGovernorError as exc:
+            if recorder is not None:
+                recorder.killed(exc)
+            raise
+        finally:
+            self.engine.governor = None
 
     def exists(self, log: Log) -> bool:
         """Whether at least one incident exists (short-circuits when the
         engine supports it).  Always serial: the greedy short-circuit
         scan typically finishes before a worker pool even starts."""
-        hit = self._cached_result(self._result_key(log))
-        if hit is not None:
-            self.last_cache_layer = "result"
-            return bool(hit.incidents)
-        self.last_cache_layer = None
-        return self.engine.exists(log, self.plan(log).optimized)
+        _, recorder = self._begin_run("exists")
+        try:
+            hit = self._cached_result(self._result_key(log))
+            if hit is not None:
+                self.last_cache_layer = "result"
+                found = bool(hit.incidents)
+            else:
+                self.last_cache_layer = None
+                found = self.engine.exists(log, self.plan(log).optimized)
+            self._finish_run(
+                recorder,
+                stats=None if hit is not None else self.engine.last_stats,
+                incidents=int(found),
+                cache_before=None,
+            )
+            return found
+        except QueryGovernorError as exc:
+            if recorder is not None:
+                recorder.killed(exc)
+            raise
+        finally:
+            self.engine.governor = None
 
     def count(self, log: Log) -> int:
         """Number of incidents in ``log``.
@@ -334,15 +441,36 @@ class Query:
         Delegates to the engine, which may use the output-free counting
         DP for ⊙/⊳ chains instead of materialising the incident set.
         With ``jobs``/``backend`` set, per-shard counts are summed."""
-        hit = self._cached_result(self._result_key(log))
-        if hit is not None:
-            self.last_cache_layer = "result"
-            return len(hit.incidents)
-        self.last_cache_layer = None
-        optimized = self.plan(log).optimized
-        if self.is_parallel:
-            return self._executor().count(log, optimized)
-        return self.engine.count(log, optimized)
+        ctx, recorder = self._begin_run("count")
+        try:
+            hit = self._cached_result(self._result_key(log))
+            if hit is not None:
+                self.last_cache_layer = "result"
+                n = len(hit.incidents)
+            else:
+                self.last_cache_layer = None
+                optimized = self.plan(log).optimized
+                if recorder is not None:
+                    recorder.plan(
+                        optimized=str(optimized), changed=optimized != self.pattern
+                    )
+                if self.is_parallel:
+                    n = self._executor(ctx).count(log, optimized)
+                else:
+                    n = self.engine.count(log, optimized)
+            self._finish_run(
+                recorder,
+                stats=None if hit is not None else self.engine.last_stats,
+                incidents=n,
+                cache_before=None,
+            )
+            return n
+        except QueryGovernorError as exc:
+            if recorder is not None:
+                recorder.killed(exc)
+            raise
+        finally:
+            self.engine.governor = None
 
     @staticmethod
     def evaluate_batch(log: Log, patterns, **kwargs):

@@ -126,17 +126,25 @@ class _PoolBackend(Backend):
             # usable without the context-manager form, at the cost of a
             # fresh pool per call
             with self._executor_cls(max_workers=self.jobs) as executor:
-                return self._drain(executor.map(fn, tasks), on_result)
-        return self._drain(self._executor.map(fn, tasks), on_result)
+                return self._drain(executor, executor.map(fn, tasks), on_result)
+        return self._drain(self._executor, self._executor.map(fn, tasks), on_result)
 
     @staticmethod
-    def _drain(results: "Iterator[R]", on_result: OnResult | None) -> list[R]:
-        if on_result is None:
-            return list(results)
+    def _drain(
+        executor: Executor, results: "Iterator[R]", on_result: OnResult | None
+    ) -> list[R]:
         drained: list[R] = []
-        for result in results:
-            drained.append(result)
-            on_result(result)
+        try:
+            for result in results:
+                drained.append(result)
+                if on_result is not None:
+                    on_result(result)
+        except Exception:
+            # one shard failed (e.g. a governor budget): stop queued
+            # siblings immediately; already-running ones observe their
+            # cancel token / deadline at the next cooperative checkpoint
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
         return drained
 
 

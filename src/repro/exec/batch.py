@@ -34,10 +34,13 @@ shrinks whenever any subpattern is shared or any query is subsumed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
+from repro.core.errors import QueryGovernorError
 from repro.core.eval.base import EvaluationStats
 from repro.core.eval.indexed import IndexedEngine
+from repro.core.governor import CancelToken, QueryContext, ResourceGovernor
 from repro.core.incident import Incident, IncidentSet
 from repro.core.model import Log
 from repro.core.optimizer.rules import normalize
@@ -45,6 +48,7 @@ from repro.core.parser import parse
 from repro.core.pattern import Pattern
 from repro.exec.backends import make_backend
 from repro.exec.shard import plan_shards
+from repro.obs.journal import QueryJournal, RunRecorder, make_event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -181,7 +185,10 @@ class _BatchShardTask:
     ``cache`` carries the shared :class:`~repro.cache.manager.QueryCache`
     for in-process backends only — a live cache cannot cross a process
     boundary, so process-pool tasks always ship with ``cache=None``
-    (which also keeps the task picklable).
+    (which also keeps the task picklable).  ``ctx``/``cancel``/``journal``
+    mirror :class:`~repro.exec.worker.ShardTask`: the query context's
+    budgets are enforced by a worker-local governor inside the shared
+    scan, and ``cancel`` is never set on process-pool tasks.
     """
 
     shard_index: int
@@ -189,6 +196,9 @@ class _BatchShardTask:
     patterns: tuple[Pattern, ...]
     max_incidents: int | None = None
     cache: object | None = None
+    ctx: QueryContext | None = None
+    cancel: CancelToken | None = field(default=None, compare=False)
+    journal: bool = False
 
 
 @dataclass(frozen=True)
@@ -197,22 +207,54 @@ class _BatchShardOutcome:
     per_query: tuple[tuple[Incident, ...], ...]
     stats: EvaluationStats
     shared_hits: int
+    events: tuple[dict, ...] = ()
 
 
 def evaluate_batch_shard(task: _BatchShardTask) -> _BatchShardOutcome:
     """Shared-scan all patterns over one shard (module-level for pickling)."""
-    engine = SharedScanEngine(max_incidents=task.max_incidents, cache=task.cache)
+    governor = (
+        ResourceGovernor.from_context(task.ctx, cancel=task.cancel)
+        if task.ctx is not None
+        else None
+    )
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    engine = SharedScanEngine(
+        max_incidents=task.max_incidents, cache=task.cache, governor=governor
+    )
     per_query: list[tuple[Incident, ...]] = []
     stats = EvaluationStats()
     for pattern in task.patterns:
         per_query.append(tuple(engine.evaluate(task.log, pattern)))
         if engine.last_stats is not None:
             stats.merge(engine.last_stats)
+            if governor is not None:
+                # each evaluate() starts fresh stats; carry the finished
+                # pattern's pairs into the governor so max_pairs bounds
+                # the whole batch, not each query separately
+                governor.charge(engine.last_stats.pairs_examined)
+    events: tuple[dict, ...] = ()
+    if task.journal and task.ctx is not None:
+        events = (
+            make_event(
+                "evaluate",
+                query_id=task.ctx.query_id,
+                trace_id=task.ctx.trace_id,
+                shard=task.shard_index,
+                engine=engine.name,
+                mode="batch",
+                records=len(task.log),
+                pairs=stats.pairs_examined,
+                incidents=sum(len(q) for q in per_query),
+                wall_ms=(time.perf_counter() - wall0) * 1000.0,
+                cpu_ms=(time.process_time() - cpu0) * 1000.0,
+            ),
+        )
     return _BatchShardOutcome(
         shard_index=task.shard_index,
         per_query=tuple(per_query),
         stats=stats,
         shared_hits=engine.shared_hits,
+        events=events,
     )
 
 
@@ -229,6 +271,9 @@ def evaluate_batch(
     tracer: Tracer | NullTracer | None = None,
     metrics: MetricsRegistry | None = None,
     cache=None,
+    deadline_ms: float | None = None,
+    max_pairs: int | None = None,
+    journal: QueryJournal | None = None,
 ) -> BatchResult:
     """Evaluate N queries over one log with shared subpattern scans.
 
@@ -261,6 +306,18 @@ def evaluate_batch(
         are evaluated and stored, and — on in-process backends — the
         shared-scan engines write through to the persistent memo layer,
         so hits survive across ``evaluate_batch`` calls.
+    deadline_ms / max_pairs:
+        Per-*batch* resource budgets, enforced cooperatively inside the
+        shared scans (the pairs budget spans all queries in the batch).
+        Tripping one raises the typed
+        :class:`~repro.core.errors.QueryTimeout` /
+        :class:`~repro.core.errors.QueryBudgetExceeded`, cancels sibling
+        shards, and — with a journal attached — records a terminal
+        ``killed`` event.
+    journal:
+        Optional :class:`~repro.obs.journal.QueryJournal` receiving the
+        batch's lifecycle events (one ``query_id`` for the whole batch;
+        per-shard ``evaluate`` events stitch in across backends).
     """
     from repro.cache.manager import resolve_cache
 
@@ -274,6 +331,23 @@ def evaluate_batch(
         resolved.append(pattern)
     if not resolved:
         raise ValueError("evaluate_batch needs at least one pattern")
+
+    ctx: QueryContext | None = None
+    recorder: RunRecorder | None = None
+    if journal is not None or deadline_ms is not None or max_pairs is not None:
+        ctx = QueryContext.new(
+            deadline_ms=deadline_ms,
+            max_pairs=max_pairs,
+            journal=journal is not None,
+        )
+    if journal is not None and ctx is not None:
+        label = (
+            str(resolved[0])
+            if len(resolved) == 1
+            else f"{resolved[0]} (+{len(resolved) - 1} more)"
+        )
+        recorder = RunRecorder(journal, ctx, pattern=label, op="batch")
+        recorder.submit(queries=len(resolved))
 
     # result-layer pre-pass: finished queries never reach the shard scan
     final: list[IncidentSet | None] = [None] * len(resolved)
@@ -289,6 +363,8 @@ def evaluate_batch(
             if hit is not None:
                 final[index] = hit.incidents
                 cache_hits += 1
+        if recorder is not None:
+            recorder.cache_probe(probe="result", hit=cache_hits > 0)
     pending = [i for i in range(len(resolved)) if final[i] is None]
 
     # subsumption pre-pass: prove containment/equivalence across the
@@ -330,6 +406,14 @@ def evaluate_batch(
             # a live cache cannot cross a process boundary; in-process
             # backends share it so the memo layer fills/serves
             task_cache = live_cache if backend_name != "process" else None
+            # sibling-cancellation token, in-process backends only (an
+            # Event does not pickle; process shards self-enforce via the
+            # absolute deadline plus ``cancel_futures``)
+            cancel = (
+                CancelToken()
+                if ctx is not None and ctx.governed and backend_name != "process"
+                else None
+            )
             tasks = [
                 _BatchShardTask(
                     shard_index=index,
@@ -339,16 +423,37 @@ def evaluate_batch(
                     ),
                     max_incidents=max_incidents,
                     cache=task_cache,
+                    ctx=ctx,
+                    cancel=cancel,
+                    journal=recorder is not None,
                 )
                 for index, shard_log in enumerate(shard_logs)
             ]
+            if recorder is not None:
+                recorder.shard(
+                    shards=len(tasks),
+                    backend=backend_name,
+                    jobs=jobs,
+                    strategy=strategy,
+                )
             with make_backend(backend_name, jobs) as runner:
-                outcomes = runner.run(evaluate_batch_shard, tasks)
+                try:
+                    outcomes = runner.run(evaluate_batch_shard, tasks)
+                except QueryGovernorError as exc:
+                    # set the token before the pool joins, so running
+                    # siblings bail at their next cooperative checkpoint
+                    if cancel is not None:
+                        cancel.set()
+                    if recorder is not None:
+                        recorder.killed(exc, queries=len(resolved))
+                    raise
 
             per_query: list[list[Incident]] = [[] for _ in scan_positions]
             for outcome in outcomes:
                 merged_stats.merge(outcome.stats)
                 shared_hits += outcome.shared_hits
+                if recorder is not None:
+                    recorder.adopt(outcome.events)
                 for slot, incidents in enumerate(outcome.per_query):
                     per_query[slot].extend(incidents)
             incident_lists: dict[int, list[Incident]] = {
@@ -407,6 +512,15 @@ def evaluate_batch(
 
     results = tuple(final)
     assert all(r is not None for r in results)
+    if recorder is not None:
+        recorder.finish(
+            stats=merged_stats,
+            incidents=sum(len(r) for r in results if r is not None),
+            queries=len(resolved),
+            shared_hits=shared_hits,
+            cache_hits=cache_hits,
+            subsumed=subsumed,
+        )
     return BatchResult(
         patterns=tuple(resolved),
         results=results,  # type: ignore[arg-type]

@@ -34,7 +34,9 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.errors import QueryGovernorError
 from repro.core.eval.base import Engine, EvaluationStats
+from repro.core.governor import CancelToken, QueryContext
 from repro.core.incident import Incident, IncidentSet
 from repro.core.model import Log
 from repro.core.optimizer.cost import CostModel, DispatchCostModel, LogStatistics
@@ -43,6 +45,7 @@ from repro.exec.backends import make_backend
 from repro.exec.shard import Shard, ShardPlan, plan_shards
 from repro.exec.worker import EngineConfig, ShardOutcome, ShardTask, evaluate_shard
 from repro.logstore.store import LogStore
+from repro.obs.journal import QueryJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer, merge_span_trees
 
@@ -134,6 +137,19 @@ class ParallelExecutor:
         memo layer never crosses the executor: worker engines may run in
         other processes.  (:class:`~repro.core.query.Query` handles the
         result layer itself and leaves this unset.)
+    ctx:
+        Optional :class:`~repro.core.governor.QueryContext` propagated to
+        every shard task: workers enforce its budgets locally (absolute
+        deadline, pairs cap) and stamp its ``query_id``/``trace_id`` on
+        their journal events.  When a shard trips a budget, the executor
+        sets the shared cancel token (thread backend) and the pool
+        cancels queued siblings, so the run stops promptly instead of
+        finishing the fan-out.
+    journal:
+        Optional :class:`~repro.obs.journal.QueryJournal`: the executor
+        emits a ``shard`` event describing the fan-out and re-sequences
+        the workers' ``evaluate`` events into the journal as outcomes
+        arrive.
     """
 
     def __init__(
@@ -149,6 +165,8 @@ class ParallelExecutor:
         dispatch: DispatchCostModel | None = None,
         progress: Callable[[int, int], None] | None = None,
         cache=None,
+        ctx: QueryContext | None = None,
+        journal: QueryJournal | None = None,
     ):
         from repro.cache.manager import resolve_cache
 
@@ -161,6 +179,8 @@ class ParallelExecutor:
         self.dispatch = dispatch if dispatch is not None else DispatchCostModel()
         self.progress = progress
         self.cache = resolve_cache(cache)
+        self.ctx = ctx
+        self.journal = journal
         self.last_result: ParallelResult | None = None
 
     # -- public API --------------------------------------------------------
@@ -203,6 +223,17 @@ class ParallelExecutor:
         trace = self.tracer is not None and getattr(self.tracer, "enabled", False)
 
         plan = self._plan(source, n_shards)
+        # sibling-cancellation token: only for in-process backends — an
+        # Event does not pickle, and process workers self-enforce via the
+        # context's absolute deadline plus ``cancel_futures`` in the pool
+        cancel = (
+            CancelToken()
+            if self.ctx is not None and self.ctx.governed and backend != "process"
+            else None
+        )
+        journal_shards = (
+            self.journal is not None and self.ctx is not None and self.ctx.journal
+        )
         tasks = [
             ShardTask(
                 shard_index=shard.index,
@@ -211,18 +242,49 @@ class ParallelExecutor:
                 engine=self.engine,
                 mode=mode,
                 trace=trace,
+                ctx=self.ctx,
+                cancel=cancel,
+                journal=bool(journal_shards),
             )
             for shard in plan
         ]
-        with make_backend(backend, self.jobs) as runner:
-            outcomes = runner.run(
-                evaluate_shard, tasks, on_result=self._shard_done(len(tasks))
+        if journal_shards:
+            assert self.journal is not None and self.ctx is not None
+            self.journal.emit(
+                "shard",
+                query_id=self.ctx.query_id,
+                trace_id=self.ctx.trace_id,
+                shards=len(tasks),
+                backend=backend,
+                jobs=self.jobs,
+                strategy=self.strategy,
             )
+        with make_backend(backend, self.jobs) as runner:
+            try:
+                outcomes = runner.run(
+                    evaluate_shard, tasks, on_result=self._shard_done(len(tasks))
+                )
+            except QueryGovernorError:
+                # set the token BEFORE the with-block exit joins the pool,
+                # so running sibling shards bail at their next checkpoint
+                # instead of finishing their join
+                if cancel is not None:
+                    cancel.set()
+                raise
+        self._adopt_events(outcomes)
         result = self._merge(outcomes, plan, backend, mode)
         if cache_key is not None and result.incidents is not None:
             self.cache.put_result(cache_key, result.incidents, result.stats)
         self.last_result = result
         return result
+
+    def _adopt_events(self, outcomes: list[ShardOutcome]) -> None:
+        """Re-sequence worker journal events into the live journal."""
+        if self.journal is None:
+            return
+        for outcome in outcomes:
+            for event in outcome.events:
+                self.journal.write(dict(event))
 
     def _shard_done(self, total: int) -> Callable[[object], None] | None:
         """Per-shard completion hook: metrics first, then ``progress``.

@@ -12,10 +12,13 @@ tracing is requested, whose root span rides home in the outcome for
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.errors import ReproError
 from repro.core.eval.base import Engine, EvaluationStats
+from repro.core.governor import CancelToken, QueryContext, ResourceGovernor
 from repro.core.incident import Incident
 from repro.core.model import Log
 from repro.core.pattern import Pattern
@@ -41,7 +44,12 @@ class EngineConfig:
     name: str = "indexed"
     max_incidents: int | None = None
 
-    def build(self, *, tracer: Tracer | None = None) -> Engine:
+    def build(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        governor: ResourceGovernor | None = None,
+    ) -> Engine:
         from repro.core.query import ENGINES
 
         try:
@@ -51,7 +59,9 @@ class EngineConfig:
                 f"unknown engine {self.name!r}; available: "
                 f"{sorted(ENGINES) + [INCREMENTAL]}"
             ) from None
-        return cls(max_incidents=self.max_incidents, tracer=tracer)
+        return cls(
+            max_incidents=self.max_incidents, tracer=tracer, governor=governor
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,16 @@ class ShardTask:
     * ``"evaluate"`` — the full incident list (canonically sorted);
     * ``"count"`` — only the incident count (engines use the counting DP
       where it applies, so no incident crosses back).
+
+    ``ctx`` carries the query's identity and budgets
+    (:class:`~repro.core.governor.QueryContext` — frozen and picklable,
+    with an *absolute* deadline so process workers observe the same
+    cutoff as the parent).  ``cancel`` is the in-process sibling
+    cancellation token; it is never set on tasks bound for a process
+    pool (events do not pickle — process shards self-enforce via the
+    absolute deadline and ``cancel_futures``).  With ``journal`` true
+    the worker records an ``evaluate`` journal event and ships it home
+    in the outcome as a plain dict.
     """
 
     shard_index: int
@@ -71,17 +91,58 @@ class ShardTask:
     engine: EngineConfig = field(default_factory=EngineConfig)
     mode: str = "evaluate"
     trace: bool = False
+    ctx: QueryContext | None = None
+    cancel: CancelToken | None = field(default=None, compare=False)
+    journal: bool = False
 
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """What one worker sends back for one shard."""
+    """What one worker sends back for one shard.
+
+    ``events`` holds the worker's journal events as plain picklable
+    dicts (built with :func:`repro.obs.journal.make_event`); the parent
+    executor re-sequences them into the live journal so a parallel run
+    stitches into one query record.
+    """
 
     shard_index: int
     incidents: tuple[Incident, ...]
     count: int
     stats: EvaluationStats
     span: Span | None = None
+    events: tuple[dict, ...] = ()
+
+
+def _shard_governor(task: ShardTask) -> ResourceGovernor | None:
+    """The worker-local governor for this shard, or None ungoverned."""
+    if task.ctx is None:
+        return None
+    return ResourceGovernor.from_context(task.ctx, cancel=task.cancel)
+
+
+def _shard_event(
+    task: ShardTask, stats: EvaluationStats, count: int, wall_ms: float, cpu_ms: float
+) -> tuple[dict, ...]:
+    """The worker's ``evaluate`` journal event (empty when not journaling)."""
+    if not task.journal or task.ctx is None:
+        return ()
+    from repro.obs.journal import make_event
+
+    event: dict[str, Any] = make_event(
+        "evaluate",
+        query_id=task.ctx.query_id,
+        trace_id=task.ctx.trace_id,
+        shard=task.shard_index,
+        engine=task.engine.name,
+        mode=task.mode,
+        records=len(task.log),
+        pairs=stats.pairs_examined,
+        incidents=count,
+        wall_ms=wall_ms,
+        cpu_ms=cpu_ms,
+    )
+    return (event,)
 
 
 def evaluate_shard(task: ShardTask) -> ShardOutcome:
@@ -92,11 +153,18 @@ def evaluate_shard(task: ShardTask) -> ShardOutcome:
     returned incidents are identical — same identity keys, same canonical
     sort position — to the ones a whole-log evaluation produces for the
     shard's wids.
+
+    When the task carries a governed :class:`QueryContext`, the worker
+    builds a local :class:`~repro.core.governor.ResourceGovernor` — the
+    typed budget error it raises propagates to the caller (picklable by
+    construction), and the remaining shards are cancelled there.
     """
     tracer = Tracer() if task.trace else None
+    governor = _shard_governor(task)
+    wall0, cpu0 = time.perf_counter(), time.process_time()
     if task.engine.name == INCREMENTAL:
-        return _evaluate_incremental(task, tracer)
-    engine = task.engine.build(tracer=tracer)
+        return _evaluate_incremental(task, tracer, governor, wall0, cpu0)
+    engine = task.engine.build(tracer=tracer, governor=governor)
     if task.mode == "count":
         count = engine.count(task.log, task.pattern)
         incidents: tuple[Incident, ...] = ()
@@ -106,16 +174,25 @@ def evaluate_shard(task: ShardTask) -> ShardOutcome:
     else:
         raise ReproError(f"unknown shard mode {task.mode!r}")
     stats = engine.last_stats or EvaluationStats()
+    wall_ms = (time.perf_counter() - wall0) * 1000.0
+    cpu_ms = (time.process_time() - cpu0) * 1000.0
     return ShardOutcome(
         shard_index=task.shard_index,
         incidents=incidents,
         count=count,
         stats=stats,
         span=tracer.last_root if tracer is not None else None,
+        events=_shard_event(task, stats, count, wall_ms, cpu_ms),
     )
 
 
-def _evaluate_incremental(task: ShardTask, tracer: Tracer | None) -> ShardOutcome:
+def _evaluate_incremental(
+    task: ShardTask,
+    tracer: Tracer | None,
+    governor: ResourceGovernor | None = None,
+    wall0: float = 0.0,
+    cpu0: float = 0.0,
+) -> ShardOutcome:
     """Replay the shard through the streaming evaluator.
 
     Shard logs keep whole instances in original order, so the stream
@@ -129,12 +206,16 @@ def _evaluate_incremental(task: ShardTask, tracer: Tracer | None) -> ShardOutcom
         task.log,
         max_incidents=task.engine.max_incidents,
         tracer=tracer,
+        governor=governor,
     )
     incidents = tuple(evaluator.incidents())
+    wall_ms = (time.perf_counter() - wall0) * 1000.0
+    cpu_ms = (time.process_time() - cpu0) * 1000.0
     return ShardOutcome(
         shard_index=task.shard_index,
         incidents=() if task.mode == "count" else incidents,
         count=len(incidents),
         stats=evaluator.stats,
         span=tracer.last_root if tracer is not None else None,
+        events=_shard_event(task, evaluator.stats, len(incidents), wall_ms, cpu_ms),
     )

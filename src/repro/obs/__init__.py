@@ -11,6 +11,10 @@ Three layers, each usable on its own:
 * :mod:`repro.obs.profile` — per-node predicted-vs-actual cost reports
   (loaded lazily: it imports the evaluation stack, which itself imports
   ``repro.obs.tracer``);
+* :mod:`repro.obs.journal` — the per-query lifecycle JSONL journal
+  (``repro.obs.journal/v1``) with resource accounting and the
+  slow-query / per-pattern-ranking views behind ``repro-logs events``
+  and ``repro-logs top``;
 * :mod:`repro.obs.log` — the ``repro.*`` stdlib-logging hierarchy;
 * :mod:`repro.obs.flamegraph` — folded-stacks text and self-contained
   HTML flamegraphs for any recorded span tree;
@@ -38,6 +42,19 @@ from repro.obs.export import (
     validate_trace,
 )
 from repro.obs.flamegraph import flamegraph_html, folded_stacks
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    QueryJournal,
+    ResourceAccount,
+    RunRecorder,
+    filter_events,
+    make_event,
+    read_journal,
+    slow_queries,
+    top_patterns,
+    validate_journal,
+    validate_journal_event,
+)
 from repro.obs.log import enable_verbose, get_logger, install_null_handler
 from repro.obs.metrics import (
     Counter,
@@ -65,7 +82,18 @@ __all__ = [
     "METRICS_SCHEMA",
     "PROFILE_SCHEMA",
     "BENCH_SCHEMA",
+    "JOURNAL_SCHEMA",
     "SchemaError",
+    "QueryJournal",
+    "RunRecorder",
+    "ResourceAccount",
+    "make_event",
+    "read_journal",
+    "validate_journal",
+    "validate_journal_event",
+    "filter_events",
+    "slow_queries",
+    "top_patterns",
     "trace_to_dict",
     "metrics_to_dict",
     "render_trace",

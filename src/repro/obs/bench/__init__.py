@@ -30,6 +30,7 @@ from repro.obs.bench.history import (
     append_history,
     case_series,
     load_history,
+    prune_history,
 )
 from repro.obs.bench.registry import BenchCase, BenchRegistry, default_registry
 from repro.obs.bench.runner import (
@@ -59,6 +60,7 @@ __all__ = [
     "append_history",
     "load_history",
     "case_series",
+    "prune_history",
     "CaseVerdict",
     "CompareReport",
     "compare_documents",

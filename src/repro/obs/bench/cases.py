@@ -15,7 +15,9 @@ matches the originating bench module:
   subsumption-planned variant (PR 6);
 * ``analysis.*``     — containment-prover compile + decide cost;
 * ``incremental.*``  — streaming maintenance vs batch re-evaluation;
-* ``cache.*``        — cold vs warm runs through the query cache.
+* ``cache.*``        — cold vs warm runs through the query cache;
+* ``journal.*``      — lifecycle journal off / events-only / with the
+  tracemalloc peak-allocation probe (PR 7).
 
 The ``smoke`` suite is the cheap CI subset (sub-second per case on any
 host); ``full`` adds the larger sweeps.  Import cost: this module pulls
@@ -313,6 +315,61 @@ def register_standard_cases(registry: BenchRegistry) -> None:
             EngineOptions(cache=QueryCache(CachePolicy(results=False))),
         )
         query.run(log)  # prime the per-(wid, subpattern) memo entries
+        return lambda: query.run(log)
+
+    # -- journal (query-lifecycle telemetry) ------------------------------
+
+    @registry.case(
+        "journal.off",
+        suites=("smoke", "full"),
+        description="journal disabled — the overhead reference run",
+        instances=120,
+    )
+    def _journal_off(instances: int) -> Callable[[], Any]:
+        from repro.core.options import EngineOptions
+        from repro.core.query import Query
+
+        log = clinic_log(instances, seed=42)
+        query = Query(
+            parse("GetRefer -> CheckIn -> SeeDoctor"),
+            EngineOptions(optimize=False),
+        )
+        return lambda: query.run(log)
+
+    @registry.case(
+        "journal.events",
+        suites=("smoke", "full"),
+        description="in-memory journal, event emission only (memory=False)",
+        instances=120,
+    )
+    def _journal_events(instances: int) -> Callable[[], Any]:
+        from repro.core.options import EngineOptions
+        from repro.core.query import Query
+        from repro.obs.journal import QueryJournal
+
+        log = clinic_log(instances, seed=42)
+        query = Query(
+            parse("GetRefer -> CheckIn -> SeeDoctor"),
+            EngineOptions(optimize=False, journal=QueryJournal(memory=False)),
+        )
+        return lambda: query.run(log)
+
+    @registry.case(
+        "journal.traced",
+        suites=("full",),
+        description="journal with the tracemalloc peak-allocation probe",
+        instances=120,
+    )
+    def _journal_traced(instances: int) -> Callable[[], Any]:
+        from repro.core.options import EngineOptions
+        from repro.core.query import Query
+        from repro.obs.journal import QueryJournal
+
+        log = clinic_log(instances, seed=42)
+        query = Query(
+            parse("GetRefer -> CheckIn -> SeeDoctor"),
+            EngineOptions(optimize=False, journal=QueryJournal()),
+        )
         return lambda: query.run(log)
 
     # -- incremental (streaming) ------------------------------------------

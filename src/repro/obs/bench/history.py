@@ -19,7 +19,13 @@ from typing import Any
 
 from repro.core.errors import ReproError
 
-__all__ = ["DEFAULT_HISTORY", "append_history", "load_history", "case_series"]
+__all__ = [
+    "DEFAULT_HISTORY",
+    "append_history",
+    "load_history",
+    "case_series",
+    "prune_history",
+]
 
 #: Default history file, in the invoking directory (gitignored).
 DEFAULT_HISTORY = "BENCH_history.jsonl"
@@ -53,6 +59,33 @@ def load_history(path: str | Path = DEFAULT_HISTORY) -> list[dict[str, Any]]:
                 f"truncate the file to repair"
             ) from None
     return documents
+
+
+def prune_history(
+    path: str | Path = DEFAULT_HISTORY, *, keep: int
+) -> tuple[int, int]:
+    """Keep only the newest ``keep`` runs; returns ``(dropped, kept)``.
+
+    The file is rewritten atomically-enough for local state (full
+    rewrite, same path).  A missing file or one already within the limit
+    is left untouched.  Loading validates every line first, so a corrupt
+    history is reported rather than truncated blindly.
+    """
+    if keep < 0:
+        raise ReproError(f"--keep must be >= 0, got {keep}")
+    documents = load_history(path)
+    if len(documents) <= keep:
+        return 0, len(documents)
+    kept = documents[len(documents) - keep:]
+    target = Path(path)
+    lines = [
+        json.dumps(document, ensure_ascii=False, sort_keys=True)
+        for document in kept
+    ]
+    target.write_text(
+        "".join(line + "\n" for line in lines), encoding="utf-8"
+    )
+    return len(documents) - len(kept), len(kept)
 
 
 def case_series(

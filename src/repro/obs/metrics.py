@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 __all__ = [
     "Counter",
@@ -59,13 +59,60 @@ def _prometheus_value(value: float) -> str:
     return repr(float(value))
 
 
+#: Canonical label form: ``((name, value), ...)`` sorted by name.
+Labels = tuple[tuple[str, str], ...]
+
+
+def _normalize_labels(labels: Mapping[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the 0.0.4 exposition format: backslash,
+    double-quote and line-feed become ``\\\\``, ``\\"`` and ``\\n``."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _metric_key(name: str, labels: Labels) -> str:
+    """The registry/snapshot key: ``name`` bare, or ``name{k="v",...}``
+    with canonically ordered, escaped labels."""
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return f"{name}{{{body}}}"
+
+
+def _prometheus_labels(labels: Labels, extra: str = "") -> str:
+    """Rendered ``{...}`` sample suffix (sanitised names, escaped values);
+    ``extra`` appends a pre-rendered pair such as ``le="0.1"``."""
+    parts = [
+        f'{_PROM_INVALID.sub("_", k)}="{_escape_label_value(v)}"' for k, v in labels
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _grouped(metrics: Mapping[str, Any]) -> list[tuple[str, list[Any]]]:
+    """Series grouped by base metric name, both levels canonically sorted
+    — all label sets of one name must sit under a single ``# TYPE``."""
+    groups: dict[str, list[Any]] = {}
+    for key in sorted(metrics):
+        metric = metrics[key]
+        groups.setdefault(metric.name, []).append(metric)
+    return sorted(groups.items())
+
+
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Labels = ()):
         self.name = name
+        self.labels = labels
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -80,10 +127,11 @@ class Counter:
 class Gauge:
     """Last-written (or peak-tracked) value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Labels = ()):
         self.name = name
+        self.labels = labels
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -105,13 +153,19 @@ class Histogram:
     the previous boundary); ``counts[-1]`` is the overflow bucket.
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Labels = (),
+    ):
         boundaries = tuple(float(b) for b in buckets)
         if not boundaries or list(boundaries) != sorted(set(boundaries)):
             raise ValueError("bucket boundaries must be non-empty, unique and ascending")
         self.name = name
+        self.labels = labels
         self.buckets = boundaries
         self.counts = [0] * (len(boundaries) + 1)
         self.sum = 0.0
@@ -137,7 +191,10 @@ class MetricsRegistry:
 
     A name identifies exactly one metric kind: asking for a counter named
     like an existing gauge (or a histogram with different boundaries)
-    raises, which keeps exported snapshots unambiguous.
+    raises, which keeps exported snapshots unambiguous.  Metrics may
+    carry labels — each distinct ``(name, labels)`` combination is its
+    own time series, keyed in snapshots as ``name{k="v",...}`` with
+    canonically sorted label names and 0.0.4-escaped values.
     """
 
     def __init__(self) -> None:
@@ -147,27 +204,35 @@ class MetricsRegistry:
 
     # -- constructors ------------------------------------------------------
 
-    def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        key = name if not labels else _metric_key(name, _normalize_labels(labels))
+        metric = self._counters.get(key)
         if metric is None:
-            self._check_fresh(name, self._gauges, self._histograms)
-            metric = self._counters[name] = Counter(name)
+            self._check_fresh(key, self._gauges, self._histograms)
+            metric = self._counters[key] = Counter(name, _normalize_labels(labels))
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        key = name if not labels else _metric_key(name, _normalize_labels(labels))
+        metric = self._gauges.get(key)
         if metric is None:
-            self._check_fresh(name, self._counters, self._histograms)
-            metric = self._gauges[name] = Gauge(name)
+            self._check_fresh(key, self._counters, self._histograms)
+            metric = self._gauges[key] = Gauge(name, _normalize_labels(labels))
         return metric
 
     def histogram(
-        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Mapping[str, str] | None = None,
     ) -> Histogram:
-        metric = self._histograms.get(name)
+        key = name if not labels else _metric_key(name, _normalize_labels(labels))
+        metric = self._histograms.get(key)
         if metric is None:
-            self._check_fresh(name, self._counters, self._gauges)
-            metric = self._histograms[name] = Histogram(name, buckets)
+            self._check_fresh(key, self._counters, self._gauges)
+            metric = self._histograms[key] = Histogram(
+                name, buckets, _normalize_labels(labels)
+            )
         elif metric.buckets != tuple(float(b) for b in buckets):
             raise ValueError(
                 f"histogram {name!r} already registered with boundaries "
@@ -201,36 +266,49 @@ class MetricsRegistry:
         """The registry in Prometheus text exposition format (0.0.4).
 
         Metric names are sanitised (``.`` and other invalid characters
-        become ``_``) and prefixed; each metric is preceded by its
-        ``# TYPE`` line.  Histograms follow the Prometheus convention:
+        become ``_``) and prefixed; each metric *name* is preceded by
+        exactly one ``# TYPE`` line, with all of its labelled series
+        grouped under it as the spec requires.  Label values are escaped
+        per 0.0.4 (``\\`` → ``\\\\``, ``"`` → ``\\"``, line-feed →
+        ``\\n``).  Histograms follow the Prometheus convention:
         **cumulative** ``_bucket`` samples with inclusive ``le`` upper
         bounds (closing with ``le="+Inf"``), plus ``_sum`` and
         ``_count`` — the internal per-bucket counts are converted, not
-        re-observed.  Output is sorted by metric name within each kind,
-        so the exposition is deterministic for golden-file tests.
+        re-observed.  Output is sorted by metric name within each kind
+        (label sets in canonical order within a name), so the exposition
+        is deterministic for golden-file tests.
         """
         lines: list[str] = []
-        for name in sorted(self._counters):
+        for name, series in _grouped(self._counters):
             prom = _prometheus_name(name, prefix)
             lines.append(f"# TYPE {prom} counter")
-            lines.append(f"{prom} {self._counters[name].value}")
-        for name in sorted(self._gauges):
+            for metric in series:
+                lines.append(f"{prom}{_prometheus_labels(metric.labels)} {metric.value}")
+        for name, series in _grouped(self._gauges):
             prom = _prometheus_name(name, prefix)
             lines.append(f"# TYPE {prom} gauge")
-            lines.append(f"{prom} {_prometheus_value(self._gauges[name].value)}")
-        for name in sorted(self._histograms):
-            histogram = self._histograms[name]
+            for metric in series:
+                lines.append(
+                    f"{prom}{_prometheus_labels(metric.labels)} "
+                    f"{_prometheus_value(metric.value)}"
+                )
+        for name, series in _grouped(self._histograms):
             prom = _prometheus_name(name, prefix)
             lines.append(f"# TYPE {prom} histogram")
-            cumulative = 0
-            for boundary, bucket_count in zip(histogram.buckets, histogram.counts):
-                cumulative += bucket_count
-                lines.append(
-                    f'{prom}_bucket{{le="{_prometheus_value(boundary)}"}} {cumulative}'
-                )
-            lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.count}')
-            lines.append(f"{prom}_sum {_prometheus_value(histogram.sum)}")
-            lines.append(f"{prom}_count {histogram.count}")
+            for histogram in series:
+                cumulative = 0
+                for boundary, bucket_count in zip(histogram.buckets, histogram.counts):
+                    cumulative += bucket_count
+                    le = f'le="{_prometheus_value(boundary)}"'
+                    lines.append(
+                        f"{prom}_bucket{_prometheus_labels(histogram.labels, le)} "
+                        f"{cumulative}"
+                    )
+                suffix = _prometheus_labels(histogram.labels, 'le="+Inf"')
+                lines.append(f"{prom}_bucket{suffix} {histogram.count}")
+                plain = _prometheus_labels(histogram.labels)
+                lines.append(f"{prom}_sum{plain} {_prometheus_value(histogram.sum)}")
+                lines.append(f"{prom}_count{plain} {histogram.count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def __len__(self) -> int:

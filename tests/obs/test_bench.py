@@ -18,6 +18,7 @@ from repro.obs.bench import (
     machine_fingerprint,
     mad,
     median,
+    prune_history,
     quantile,
     reject_outliers,
     run_case,
@@ -125,6 +126,7 @@ class TestRegistry:
             "analysis",
             "incremental",
             "cache",
+            "journal",
         }
         assert "smoke" in registry.suites()
         # every smoke case is also a full case: full is the superset sweep
@@ -201,6 +203,49 @@ class TestHistory:
         path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
         with pytest.raises(ReproError, match="hist.jsonl:2"):
             load_history(path)
+
+
+class TestPruneHistory:
+    def _grown_history(self, tmp_path, runs: int):
+        path = tmp_path / "hist.jsonl"
+        for _ in range(runs):
+            append_history(
+                run_suite([_tiny_case()], suite="smoke", warmup=0, repeats=1),
+                path,
+            )
+        return path
+
+    def test_prune_keeps_the_newest_runs(self, tmp_path):
+        path = self._grown_history(tmp_path, runs=5)
+        before = load_history(path)
+        dropped, kept = prune_history(path, keep=2)
+        assert (dropped, kept) == (3, 2)
+        assert load_history(path) == before[-2:]
+
+    def test_within_limit_is_untouched(self, tmp_path):
+        path = self._grown_history(tmp_path, runs=2)
+        text = path.read_text(encoding="utf-8")
+        assert prune_history(path, keep=5) == (0, 2)
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_keep_zero_empties_the_file(self, tmp_path):
+        path = self._grown_history(tmp_path, runs=3)
+        assert prune_history(path, keep=0) == (3, 0)
+        assert load_history(path) == []
+
+    def test_missing_file_is_a_no_op(self, tmp_path):
+        assert prune_history(tmp_path / "absent.jsonl", keep=3) == (0, 0)
+
+    def test_negative_keep_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="--keep"):
+            prune_history(tmp_path / "hist.jsonl", keep=-1)
+
+    def test_corrupt_history_is_reported_not_truncated(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ReproError, match="hist.jsonl:2"):
+            prune_history(path, keep=1)
+        assert "not json" in path.read_text(encoding="utf-8")
 
 
 def _bench_document(medians_ms: dict, *, mad_ms: float = 0.05, machine=None) -> dict:

@@ -1,0 +1,121 @@
+"""The repro.* diagnostic logging channel (repro.obs.log).
+
+Covers the prefix handling of ``get_logger``, the idempotence contract
+of ``install_null_handler``, and the ``-v`` / ``-vv`` level wiring of
+``enable_verbose`` that the CLI's root flag relies on.
+"""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ROOT_LOGGER,
+    enable_verbose,
+    get_logger,
+    install_null_handler,
+)
+
+
+@pytest.fixture
+def clean_root():
+    """Snapshot and restore the hierarchy root around each test."""
+    root = logging.getLogger(ROOT_LOGGER)
+    handlers, level = list(root.handlers), root.level
+    yield root
+    root.handlers[:] = handlers
+    root.setLevel(level)
+
+
+class TestGetLogger:
+    def test_no_name_returns_the_root(self):
+        assert get_logger().name == ROOT_LOGGER
+        assert get_logger() is logging.getLogger(ROOT_LOGGER)
+
+    def test_root_name_returns_the_root(self):
+        assert get_logger(ROOT_LOGGER) is logging.getLogger(ROOT_LOGGER)
+
+    def test_empty_string_returns_the_root(self):
+        assert get_logger("").name == ROOT_LOGGER
+
+    def test_bare_name_is_prefixed(self):
+        assert get_logger("cache").name == "repro.cache"
+
+    def test_existing_prefix_is_not_doubled(self):
+        assert get_logger("repro.exec.worker").name == "repro.exec.worker"
+
+    def test_module_dunder_name_style(self):
+        # modules pass __name__, which already carries the prefix
+        logger = get_logger("repro.obs.journal")
+        assert logger.name == "repro.obs.journal"
+        assert logger.parent is not None
+
+    def test_children_propagate_to_the_root(self):
+        assert get_logger("core.eval").name.startswith(ROOT_LOGGER + ".")
+
+
+class TestInstallNullHandler:
+    def test_installs_a_null_handler(self, clean_root):
+        clean_root.handlers[:] = []
+        install_null_handler()
+        assert any(
+            isinstance(h, logging.NullHandler) for h in clean_root.handlers
+        )
+
+    def test_idempotent(self, clean_root):
+        clean_root.handlers[:] = []
+        install_null_handler()
+        install_null_handler()
+        install_null_handler()
+        nulls = [
+            h for h in clean_root.handlers if isinstance(h, logging.NullHandler)
+        ]
+        assert len(nulls) == 1
+
+
+class TestEnableVerbose:
+    def test_zero_verbosity_is_a_no_op(self, clean_root):
+        before = list(clean_root.handlers)
+        assert enable_verbose(0) is None
+        assert clean_root.handlers == before
+
+    def test_negative_verbosity_is_a_no_op(self, clean_root):
+        assert enable_verbose(-1) is None
+
+    def test_v_enables_info(self, clean_root):
+        stream = io.StringIO()
+        handler = enable_verbose(1, stream=stream)
+        try:
+            assert clean_root.level == logging.INFO
+            get_logger("test").info("hello")
+            get_logger("test").debug("hidden")
+        finally:
+            clean_root.removeHandler(handler)
+        output = stream.getvalue()
+        assert "INFO repro.test: hello" in output
+        assert "hidden" not in output
+
+    def test_vv_enables_debug(self, clean_root):
+        stream = io.StringIO()
+        handler = enable_verbose(2, stream=stream)
+        try:
+            assert clean_root.level == logging.DEBUG
+            get_logger("test").debug("details")
+        finally:
+            clean_root.removeHandler(handler)
+        assert "DEBUG repro.test: details" in stream.getvalue()
+
+    def test_higher_verbosity_still_debug(self, clean_root):
+        handler = enable_verbose(5, stream=io.StringIO())
+        try:
+            assert clean_root.level == logging.DEBUG
+        finally:
+            clean_root.removeHandler(handler)
+
+    def test_returns_removable_handler(self, clean_root):
+        stream = io.StringIO()
+        handler = enable_verbose(1, stream=stream)
+        assert handler in clean_root.handlers
+        clean_root.removeHandler(handler)
+        assert handler not in clean_root.handlers

@@ -13,13 +13,22 @@ from repro.obs.metrics import MetricsRegistry
 
 GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
 
-_SAMPLE = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? \S+$')
+# one label pair: escaped values may contain \\ \" \n sequences
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"'
+_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{%s(,%s)*\})? \S+$' % (_LABEL, _LABEL)
+)
+
+#: A label value containing every character the 0.0.4 text format escapes.
+_NASTY = 'back\\slash "quoted"\nnewline'
 
 
 def _known_registry() -> MetricsRegistry:
     registry = MetricsRegistry()
     registry.counter("engine.pairs_examined").inc(42)
     registry.counter("exec.shards_completed").inc(4)
+    registry.counter("journal.events", labels={"event": "finish"}).inc(3)
+    registry.counter("journal.events", labels={"event": _NASTY}).inc(2)
     registry.gauge("engine.max_live_incidents").set_max(7)
     registry.gauge("exec.load_factor").set(0.5)
     histogram = registry.histogram("monitor.observe_seconds", buckets=(0.001, 0.01, 0.1))
@@ -69,3 +78,37 @@ class TestExpositionRules:
         registry.gauge("g").set(3.0)
         assert "repro_g 3\n" in registry.to_prometheus()
         assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_are_escaped(self):
+        # 0.0.4 text format: \ -> \\, " -> \", newline -> \n — so a
+        # hostile label value can never break the line structure
+        text = _known_registry().to_prometheus()
+        expected = 'event="back\\\\slash \\"quoted\\"\\nnewline"'
+        assert expected in text
+        assert "\n".join(text.splitlines()) + "\n" == text  # still line-structured
+
+    def test_label_series_share_one_type_line(self):
+        text = _known_registry().to_prometheus()
+        assert text.count("# TYPE repro_journal_events counter") == 1
+        assert 'repro_journal_events{event="finish"} 3' in text
+
+    def test_labels_render_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"zeta": "1", "alpha": "2"}).inc()
+        assert 'repro_c{alpha="2",zeta="1"} 1' in registry.to_prometheus()
+
+    def test_labelled_and_bare_series_coexist(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.counter("c", labels={"k": "v"}).inc(7)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE repro_c counter") == 1
+        assert "repro_c 5" in text
+        assert 'repro_c{k="v"} 7' in text
+
+    def test_snapshot_keys_include_sorted_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"b": "2", "a": "1"}).inc()
+        assert 'c{a="1",b="2"}' in registry.snapshot()["counters"]
