@@ -660,6 +660,37 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--src", dest="source", required=True)
     convert.add_argument("--dst", dest="target", required=True)
 
+    serve = commands.add_parser(
+        "serve", help="run the HTTP query daemon (see docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port; 0 binds an ephemeral port")
+    serve.add_argument(
+        "--catalog",
+        help="catalog source: a .json/.toml config or a directory of log files",
+    )
+    serve.add_argument(
+        "--store", action="append", default=[], metavar="NAME=PATH",
+        help="add one named log file to the catalog (repeatable)",
+    )
+    serve.add_argument("--max-concurrency", type=int, default=8,
+                       help="queries evaluating at once")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="requests allowed to wait for a slot")
+    serve.add_argument("--queue-timeout-ms", type=float, default=10_000.0,
+                       help="longest a request waits in the queue")
+    serve.add_argument("--deadline-ms-ceiling", type=float, default=30_000.0,
+                       help="per-request wall-clock budget ceiling")
+    serve.add_argument("--max-pairs-ceiling", type=int, default=50_000_000,
+                       help="per-request pairs-examined budget ceiling")
+    serve.add_argument("--jobs-ceiling", type=int, default=8,
+                       help="per-request parallel fan-out ceiling")
+    serve.add_argument("--cache-bytes", type=int, default=None,
+                       help="per-layer byte budget for the shared query cache")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="append query lifecycle events to this JSONL file")
+
     return parser
 
 
@@ -1299,6 +1330,53 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.journal import QueryJournal
+    from repro.service import QueryService, ServiceConfig, StoreCatalog
+    from repro.service import serve as serve_daemon
+
+    if not args.catalog and not args.store:
+        raise ReproError("serve needs --catalog and/or at least one --store")
+
+    registry = MetricsRegistry()
+    if args.catalog:
+        source = Path(args.catalog)
+        if source.is_dir():
+            catalog = StoreCatalog.from_directory(source, metrics=registry)
+        else:
+            catalog = StoreCatalog.from_config(source, metrics=registry)
+    else:
+        catalog = StoreCatalog(metrics=registry)
+    for entry in args.store:
+        name, separator, path = entry.partition("=")
+        if not separator or not name or not path:
+            raise ReproError(f"--store expects NAME=PATH, got {entry!r}")
+        catalog.add_file(name, path)
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        queue_timeout_ms=args.queue_timeout_ms,
+        deadline_ms_ceiling=args.deadline_ms_ceiling,
+        max_pairs_ceiling=args.max_pairs_ceiling,
+        jobs_ceiling=args.jobs_ceiling,
+        cache_bytes=args.cache_bytes,
+    )
+    journal = (
+        QueryJournal(args.journal, metrics=registry, memory=False)
+        if args.journal
+        else None
+    )
+    service = QueryService(catalog, config, metrics=registry, journal=journal)
+    # announce on stdout so scripts (and the CI smoke job) can scrape the
+    # bound address even when --port 0 picked an ephemeral port
+    return serve_daemon(
+        service, announce=lambda url: print(f"listening on {url}", flush=True)
+    )
+
+
 _HANDLERS = {
     "query": _cmd_query,
     "profile": _cmd_profile,
@@ -1315,6 +1393,7 @@ _HANDLERS = {
     "monitor": _cmd_monitor,
     "show": _cmd_show,
     "convert": _cmd_convert,
+    "serve": _cmd_serve,
 }
 
 

@@ -17,7 +17,10 @@ matches the originating bench module:
 * ``incremental.*``  — streaming maintenance vs batch re-evaluation;
 * ``cache.*``        — cold vs warm runs through the query cache;
 * ``journal.*``      — lifecycle journal off / events-only / with the
-  tracemalloc peak-allocation probe (PR 7).
+  tracemalloc peak-allocation probe (PR 7);
+* ``service.*``      — the HTTP daemon driven in-process through
+  ``QueryService.dispatch``: warm-cache query latency and saturation
+  shedding under a full worker pool (PR 8).
 
 The ``smoke`` suite is the cheap CI subset (sub-second per case on any
 host); ``full`` adds the larger sweeps.  Import cost: this module pulls
@@ -389,5 +392,77 @@ def register_standard_cases(registry: BenchRegistry) -> None:
             for record in log:
                 evaluator.append(record)
             return evaluator.incidents()
+
+        return run
+
+    # -- service (the HTTP daemon, driven in-process) ---------------------
+
+    @registry.case(
+        "service.query_warm",
+        suites=("smoke", "full"),
+        description="POST /v1/query served from the warm result layer "
+        "(full dispatch: schema, clamp, admission, journal-free)",
+        instances=120,
+    )
+    def _service_query_warm(instances: int) -> Callable[[], Any]:
+        import json
+
+        from repro.service import QueryService, ServiceConfig, StoreCatalog
+
+        catalog = StoreCatalog()
+        catalog.add_log("clinic", clinic_log(instances, seed=42))
+        service = QueryService(catalog, ServiceConfig())
+        body = json.dumps(
+            {"log": "clinic", "pattern": "GetRefer -> CheckIn -> SeeDoctor"}
+        ).encode()
+        service.dispatch("POST", "/v1/query", body)  # prime the result layer
+
+        def run() -> Any:
+            response = service.dispatch("POST", "/v1/query", body)
+            assert response.status == 200
+            return response
+
+        return run
+
+    @registry.case(
+        "service.saturation",
+        suites=("smoke", "full"),
+        description="16 concurrent uncached dispatches against a 2-slot "
+        "pool — admitted work completes, overflow sheds with 429",
+        instances=40,
+        clients=16,
+    )
+    def _service_saturation(instances: int, clients: int) -> Callable[[], Any]:
+        import json
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.service import QueryService, ServiceConfig, StoreCatalog
+
+        catalog = StoreCatalog()
+        catalog.add_log("clinic", clinic_log(instances, seed=42))
+        service = QueryService(
+            catalog,
+            ServiceConfig(
+                max_concurrency=2, queue_depth=2, queue_timeout_ms=50.0
+            ),
+        )
+        body = json.dumps(
+            {
+                "log": "clinic",
+                "pattern": "GetRefer -> CheckIn -> SeeDoctor",
+                "options": {"cache": False},
+            }
+        ).encode()
+        pool = ThreadPoolExecutor(max_workers=clients)
+
+        def run() -> Any:
+            statuses = list(
+                pool.map(
+                    lambda _: service.dispatch("POST", "/v1/query", body).status,
+                    range(clients),
+                )
+            )
+            assert set(statuses) <= {200, 429}
+            return statuses
 
         return run

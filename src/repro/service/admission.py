@@ -1,0 +1,169 @@
+"""Admission control: a bounded worker pool with a shed-at-depth queue.
+
+The daemon must degrade by *refusing* work, not by slowing every tenant
+down.  :class:`AdmissionController` enforces the two caps from
+:class:`~repro.service.config.ServiceConfig`:
+
+* at most ``max_concurrency`` evaluations run at once;
+* at most ``queue_depth`` further requests wait for a slot (each for at
+  most ``queue_timeout_ms``); anything beyond is shed immediately with
+  the 429 ``saturated`` wire error carrying ``Retry-After``.
+
+The controller is a condition-variable state machine rather than a bare
+``threading.Semaphore`` because the queue-depth cap needs an atomic
+"count the waiters" decision: a semaphore would happily let unbounded
+callers block.  ``peak_in_flight`` exists for the tentpole's concurrency
+test — proof the pool bound actually held under ≥ 8 concurrent clients.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.service.errors import saturated
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Grants evaluation slots; sheds load beyond the configured caps."""
+
+    def __init__(
+        self,
+        *,
+        max_concurrency: int,
+        queue_depth: int,
+        queue_timeout_ms: float = 10_000.0,
+        retry_after_s: float = 1.0,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_concurrency = max_concurrency
+        self.queue_depth = queue_depth
+        self.queue_timeout_ms = queue_timeout_ms
+        self.retry_after_s = retry_after_s
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._queued = 0
+        self._peak_in_flight = 0
+        self._peak_queued = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._metrics = metrics
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    @property
+    def peak_in_flight(self) -> int:
+        with self._cond:
+            return self._peak_in_flight
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters for ``/healthz`` and tests."""
+        with self._cond:
+            return {
+                "in_flight": self._in_flight,
+                "queued": self._queued,
+                "peak_in_flight": self._peak_in_flight,
+                "peak_queued": self._peak_queued,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "max_concurrency": self.max_concurrency,
+                "queue_depth": self.queue_depth,
+            }
+
+    # ------------------------------------------------------------------
+    # the slot protocol
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """Hold one evaluation slot for the duration of the ``with`` body.
+
+        Raises the 429 ``saturated`` :class:`ServiceError` when the pool
+        is full and the queue is at depth (or the queue wait times out).
+        """
+        self._acquire()
+        try:
+            yield
+        finally:
+            self._release()
+
+    def _acquire(self) -> None:
+        deadline = None
+        with self._cond:
+            if self._in_flight >= self.max_concurrency:
+                if self._queued >= self.queue_depth:
+                    self._rejected += 1
+                    self._count("service.rejected")
+                    raise saturated(
+                        f"server saturated: {self._in_flight} in flight, "
+                        f"{self._queued} queued (caps {self.max_concurrency}"
+                        f"/{self.queue_depth})",
+                        retry_after_s=self.retry_after_s,
+                    )
+                self._queued += 1
+                self._peak_queued = max(self._peak_queued, self._queued)
+                self._gauge("service.queued", self._queued)
+                import time
+
+                deadline = time.monotonic() + self.queue_timeout_ms / 1000.0
+                try:
+                    while self._in_flight >= self.max_concurrency:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                            if self._in_flight < self.max_concurrency:
+                                break
+                            self._rejected += 1
+                            self._count("service.rejected")
+                            raise saturated(
+                                "server saturated: timed out waiting "
+                                f"{self.queue_timeout_ms:g}ms for a slot",
+                                retry_after_s=self.retry_after_s,
+                            )
+                finally:
+                    self._queued -= 1
+                    self._gauge("service.queued", self._queued)
+            self._in_flight += 1
+            self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+            self._admitted += 1
+            self._count("service.admitted")
+            self._gauge("service.in_flight", self._in_flight)
+
+    def _release(self) -> None:
+        with self._cond:
+            self._in_flight -= 1
+            self._gauge("service.in_flight", self._in_flight)
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    # metrics plumbing (no-ops without a registry)
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _gauge(self, name: str, value: int) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(name).set(float(value))

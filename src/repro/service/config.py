@@ -1,0 +1,163 @@
+"""Server-side configuration: sockets, admission caps, option ceilings.
+
+:class:`ServiceConfig` is the one frozen value that parameterises a
+daemon: where it listens, how many queries may run or wait at once, and
+the per-request :class:`~repro.core.options.EngineOptions` ceilings that
+requests are clamped against.  Clamping — :meth:`ServiceConfig.clamp` —
+is the admission-control rule the tentpole hangs on: a client may ask
+for *less* than the server allows (a tighter deadline, a smaller pairs
+budget) but never more, and a request with no budget at all still runs
+under the server ceilings, so one pathological pattern cannot starve
+the worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ReproError
+from repro.core.options import BACKENDS
+from repro.core.query import ENGINES
+
+__all__ = ["ServiceConfig", "ClampedOptions"]
+
+
+@dataclass(frozen=True)
+class ClampedOptions:
+    """The per-request knobs after server-side clamping.
+
+    ``clamped`` names the request fields that were reduced to a ceiling,
+    so responses can report the adjustment (and tests can assert it).
+    """
+
+    engine: str | None = None
+    optimize: bool = True
+    max_incidents: int | None = None
+    jobs: int | None = None
+    backend: str | None = None
+    deadline_ms: float | None = None
+    max_pairs: int | None = None
+    cache: bool = True
+    clamped: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How one daemon instance behaves.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address; port 0 binds an ephemeral port (the server
+        reports the bound address).
+    max_concurrency:
+        Queries evaluating at once; further admitted requests wait.
+    queue_depth:
+        Requests allowed to wait for a slot; beyond it the service sheds
+        load with 429 + ``Retry-After``.
+    queue_timeout_ms:
+        Longest a request waits in the queue before it too is shed.
+    deadline_ms_ceiling / max_pairs_ceiling / max_incidents_ceiling:
+        Per-request governor ceilings.  Requests asking for more are
+        clamped down; requests asking for nothing get the ceiling.
+    jobs_ceiling:
+        Upper bound on per-request parallel fan-out (``jobs``).
+    cache_bytes:
+        Optional per-layer byte budget for the shared query cache.
+    max_body_bytes:
+        Request bodies above this are refused with 413.
+    retry_after_s:
+        Hint rendered into ``Retry-After`` on 429/503 responses.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_concurrency: int = 8
+    queue_depth: int = 16
+    queue_timeout_ms: float = 10_000.0
+    deadline_ms_ceiling: float = 30_000.0
+    max_pairs_ceiling: int = 50_000_000
+    max_incidents_ceiling: int = 1_000_000
+    jobs_ceiling: int = 8
+    cache_bytes: int | None = None
+    max_body_bytes: int = 8 * 1024 * 1024
+    retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ReproError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.queue_depth < 0:
+            raise ReproError(f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.deadline_ms_ceiling <= 0:
+            raise ReproError(
+                f"deadline_ms_ceiling must be > 0, got {self.deadline_ms_ceiling}"
+            )
+        if self.max_pairs_ceiling < 1:
+            raise ReproError(
+                f"max_pairs_ceiling must be >= 1, got {self.max_pairs_ceiling}"
+            )
+        if self.jobs_ceiling < 1:
+            raise ReproError(f"jobs_ceiling must be >= 1, got {self.jobs_ceiling}")
+
+    def clamp(self, requested: dict[str, Any]) -> ClampedOptions:
+        """Clamp one request's ``options`` object against the ceilings.
+
+        ``requested`` is the already schema-validated options dict of a
+        wire request (see :mod:`repro.service.schemas`).  Budgets are
+        ``min(requested, ceiling)`` with the ceiling as the default;
+        unknown engine/backend names raise the wire-level 400.
+        """
+        from repro.service.errors import bad_request
+
+        clamped: list[str] = []
+
+        engine = requested.get("engine")
+        if engine is not None and engine not in ENGINES:
+            raise bad_request(
+                f"unknown engine {engine!r}",
+                details={"available": sorted(ENGINES)},
+            )
+        backend = requested.get("backend")
+        if backend is not None and backend not in BACKENDS:
+            raise bad_request(
+                f"unknown backend {backend!r}",
+                details={"available": list(BACKENDS)},
+            )
+
+        deadline_ms = requested.get("deadline_ms")
+        if deadline_ms is None or deadline_ms > self.deadline_ms_ceiling:
+            if deadline_ms is not None:
+                clamped.append("deadline_ms")
+            deadline_ms = self.deadline_ms_ceiling
+
+        max_pairs = requested.get("max_pairs")
+        if max_pairs is None or max_pairs > self.max_pairs_ceiling:
+            if max_pairs is not None:
+                clamped.append("max_pairs")
+            max_pairs = self.max_pairs_ceiling
+
+        max_incidents = requested.get("max_incidents")
+        if max_incidents is None or max_incidents > self.max_incidents_ceiling:
+            if max_incidents is not None:
+                clamped.append("max_incidents")
+            max_incidents = self.max_incidents_ceiling
+
+        jobs = requested.get("jobs")
+        if jobs is not None and jobs > self.jobs_ceiling:
+            clamped.append("jobs")
+            jobs = self.jobs_ceiling
+
+        return ClampedOptions(
+            engine=engine,
+            optimize=bool(requested.get("optimize", True)),
+            max_incidents=max_incidents,
+            jobs=jobs,
+            backend=backend,
+            deadline_ms=float(deadline_ms),
+            max_pairs=int(max_pairs),
+            cache=bool(requested.get("cache", True)),
+            clamped=tuple(clamped),
+        )

@@ -1,0 +1,620 @@
+"""Transport-independent request handling for the query daemon.
+
+:class:`QueryService` is the whole service minus the sockets: it owns
+the :class:`~repro.service.catalog.StoreCatalog`, the shared
+:class:`~repro.cache.manager.QueryCache`, the
+:class:`~repro.obs.metrics.MetricsRegistry`, the optional
+:class:`~repro.obs.journal.QueryJournal`, and the
+:class:`~repro.service.admission.AdmissionController`, and routes one
+``(method, path, body)`` triple to one :class:`ServiceResponse`.  The
+HTTP layer (:mod:`repro.service.server`) is a thin byte adapter over
+:meth:`QueryService.dispatch`; tests and the bench registry call
+``dispatch`` directly and exercise the identical code path.
+
+Request lifecycle of an evaluation endpoint (``/v1/query``,
+``/v1/batch``, ``/v1/explain``, ``/v1/analyze``):
+
+1. schema-validate the body (:mod:`repro.service.schemas`, 400 on
+   violation);
+2. clamp the requested options against the server ceilings
+   (:meth:`~repro.service.config.ServiceConfig.clamp`);
+3. take an admission slot (429 when saturated);
+4. mint a :class:`~repro.core.governor.QueryContext` — its
+   ``query_id``/``trace_id`` are echoed as ``X-Query-Id`` /
+   ``X-Trace-Id`` response headers and stamp the journal lifecycle;
+5. evaluate under the governor; map kills and library errors through
+   :func:`~repro.service.errors.map_exception` (the server survives,
+   the client gets structured JSON with partial stats).
+
+Anything not mapped there becomes an opaque 500 — internal details
+never leak onto the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro import __version__
+from repro.cache.manager import QueryCache
+from repro.cache.policy import CachePolicy
+from repro.core.errors import LogStoreError, ReproError
+from repro.core.governor import QueryContext, new_query_id, new_trace_id
+from repro.core.options import EngineOptions
+from repro.core.query import Query
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import AdmissionController
+from repro.service.catalog import StoreCatalog
+from repro.service.config import ClampedOptions, ServiceConfig
+from repro.service.errors import (
+    ServiceError,
+    map_exception,
+    method_not_allowed,
+    not_found,
+    stats_to_dict,
+    unavailable,
+)
+from repro.service.schemas import (
+    decode_json_body,
+    parse_analyze_request,
+    parse_append_request,
+    parse_batch_request,
+    parse_explain_request,
+    parse_lint_request,
+    parse_query_request,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.model import Log
+    from repro.obs.journal import QueryJournal, RunRecorder
+
+__all__ = ["QueryService", "ServiceResponse"]
+
+
+@dataclass
+class ServiceResponse:
+    """One rendered response: status, JSON payload (or raw text), headers."""
+
+    status: int
+    payload: Any = None
+    text: str | None = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def content_type(self) -> str:
+        if self.text is not None:
+            return "text/plain; version=0.0.4; charset=utf-8"
+        return "application/json; charset=utf-8"
+
+    def body(self) -> bytes:
+        if self.text is not None:
+            return self.text.encode("utf-8")
+        return (
+            json.dumps(self.payload, sort_keys=True, default=str) + "\n"
+        ).encode("utf-8")
+
+
+def _error_response(
+    error: ServiceError, *, headers: dict[str, str] | None = None
+) -> ServiceResponse:
+    merged = dict(headers or {})
+    merged.update(error.headers())
+    return ServiceResponse(error.status, payload=error.payload(), headers=merged)
+
+
+class QueryService:
+    """The daemon's brain: routing, admission, evaluation, journaling."""
+
+    def __init__(
+        self,
+        catalog: StoreCatalog,
+        config: ServiceConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        journal: "QueryJournal | None" = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if catalog.metrics is None:
+            catalog.metrics = self.metrics
+        self.catalog = catalog
+        self.journal = journal
+        policy = CachePolicy()
+        if self.config.cache_bytes is not None:
+            policy = policy.with_budget(self.config.cache_bytes)
+        self.cache = QueryCache(policy, metrics=self.metrics)
+        self.admission = AdmissionController(
+            max_concurrency=self.config.max_concurrency,
+            queue_depth=self.config.queue_depth,
+            queue_timeout_ms=self.config.queue_timeout_ms,
+            retry_after_s=self.config.retry_after_s,
+            metrics=self.metrics,
+        )
+        self._draining = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self) -> None:
+        """Refuse new evaluation/append work (503); in-flight finishes."""
+        self._draining.set()
+
+    def close(self) -> None:
+        """Drain and flush the journal sink (idempotent)."""
+        self.drain()
+        if self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> ServiceResponse:
+        """Route one request; never raises — errors become responses."""
+        method = method.upper()
+        headers = {
+            "X-Query-Id": new_query_id(),
+            "X-Trace-Id": new_trace_id(),
+        }
+        try:
+            return self._route(method, path.rstrip("/") or "/", body, headers)
+        except ServiceError as error:
+            self._count_request(path, error.status)
+            return _error_response(error, headers=headers)
+        except Exception as exc:  # noqa: BLE001 - the opaque-500 contract
+            try:
+                error = map_exception(exc)
+            except TypeError:
+                error = ServiceError(
+                    "internal server error", status=500, code="internal"
+                )
+            self._count_request(path, error.status)
+            return _error_response(error, headers=headers)
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str],
+    ) -> ServiceResponse:
+        route: Callable[..., ServiceResponse] | None = None
+        allowed: tuple[str, ...] = ()
+        args: tuple[Any, ...] = ()
+
+        if path == "/healthz":
+            route, allowed = self._get_healthz, ("GET",)
+        elif path == "/version":
+            route, allowed = self._get_version, ("GET",)
+        elif path == "/metrics":
+            route, allowed = self._get_metrics, ("GET",)
+        elif path == "/v1/logs":
+            route, allowed = self._get_logs, ("GET",)
+        elif path.startswith("/v1/logs/"):
+            rest = path[len("/v1/logs/") :]
+            if rest.endswith("/stats") and rest.count("/") == 1:
+                route, allowed = self._get_log_stats, ("GET",)
+                args = (rest[: -len("/stats")],)
+            elif rest.endswith("/records") and rest.count("/") == 1:
+                route, allowed = self._post_append, ("POST",)
+                args = (rest[: -len("/records")], body)
+            elif "/" not in rest and rest:
+                route, allowed = self._get_log_stats, ("GET",)
+                args = (rest,)
+        elif path == "/v1/query":
+            route, allowed = self._post_query, ("POST",)
+            args = (body, headers)
+        elif path == "/v1/batch":
+            route, allowed = self._post_batch, ("POST",)
+            args = (body, headers)
+        elif path == "/v1/lint":
+            route, allowed = self._post_lint, ("POST",)
+            args = (body,)
+        elif path == "/v1/explain":
+            route, allowed = self._post_explain, ("POST",)
+            args = (body, headers)
+        elif path == "/v1/analyze":
+            route, allowed = self._post_analyze, ("POST",)
+            args = (body, headers)
+
+        if route is None:
+            raise not_found(f"no route for {path}")
+        if method not in allowed:
+            raise method_not_allowed(method, path, allowed)
+        response = route(*args)
+        for name, value in headers.items():
+            response.headers.setdefault(name, value)
+        self._count_request(path, response.status)
+        return response
+
+    def _count_request(self, path: str, status: int) -> None:
+        endpoint = path.rstrip("/") or "/"
+        if endpoint.startswith("/v1/logs/"):
+            endpoint = (
+                "/v1/logs/{name}/records"
+                if endpoint.endswith("/records")
+                else "/v1/logs/{name}/stats"
+            )
+        self.metrics.counter(
+            "service.requests",
+            labels={"endpoint": endpoint, "status": str(status)},
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # plumbing shared by the evaluation endpoints
+    # ------------------------------------------------------------------
+
+    def _check_draining(self) -> None:
+        if self.draining:
+            raise unavailable(
+                "server is draining for shutdown",
+                retry_after_s=self.config.retry_after_s,
+            )
+
+    def _snapshot(self, name: str) -> "Log":
+        try:
+            return self.catalog.snapshot(name)
+        except LogStoreError as exc:
+            if "unknown log" in str(exc):
+                raise not_found(
+                    f"unknown log {name!r}",
+                    details={"available": list(self.catalog.names())},
+                ) from None
+            raise
+
+    def _engine_options(self, clamped: ClampedOptions) -> EngineOptions:
+        return EngineOptions(
+            engine=clamped.engine,
+            optimize=clamped.optimize,
+            max_incidents=clamped.max_incidents,
+            metrics=self.metrics,
+            jobs=clamped.jobs,
+            backend=clamped.backend,
+            cache=self.cache if clamped.cache else None,
+            deadline_ms=clamped.deadline_ms,
+            max_pairs=clamped.max_pairs,
+        )
+
+    def _begin(
+        self,
+        *,
+        pattern: str,
+        op: str,
+        clamped: ClampedOptions,
+        headers: dict[str, str],
+    ) -> "tuple[QueryContext, RunRecorder | None]":
+        """Mint the request's context and (optional) journal recorder.
+
+        The service journals at the HTTP boundary with its own context;
+        the inner :class:`Query` runs journal-free so each request owns
+        exactly one submit → finish/killed lifecycle.
+        """
+        ctx = QueryContext.new(
+            deadline_ms=clamped.deadline_ms,
+            max_pairs=clamped.max_pairs,
+            journal=self.journal is not None,
+        )
+        headers["X-Query-Id"] = ctx.query_id
+        headers["X-Trace-Id"] = ctx.trace_id
+        recorder = None
+        if self.journal is not None:
+            from repro.obs.journal import RunRecorder
+
+            recorder = RunRecorder(self.journal, ctx, pattern=pattern, op=op)
+            recorder.submit()
+        return ctx, recorder
+
+    def _evaluate(
+        self,
+        *,
+        pattern: str,
+        op: str,
+        clamped: ClampedOptions,
+        headers: dict[str, str],
+        body: Callable[[], dict[str, Any]],
+    ) -> ServiceResponse:
+        """Run ``body`` under admission control, governor mapping and the
+        journal lifecycle; ``body`` returns the success payload."""
+        self._check_draining()
+        with self.admission.slot():
+            _, recorder = self._begin(
+                pattern=pattern, op=op, clamped=clamped, headers=headers
+            )
+            try:
+                payload = body()
+            except Exception as exc:  # noqa: BLE001 - mapped below
+                try:
+                    error = map_exception(exc)
+                except TypeError:
+                    error = ServiceError(
+                        "internal server error", status=500, code="internal"
+                    )
+                if recorder is not None:
+                    if error.partial_stats is not None:
+                        recorder.killed(exc)
+                    else:
+                        recorder.finish(
+                            stats=None,
+                            incidents=0,
+                            status_override="error",
+                            error=error.code,
+                            http_status=error.status,
+                        )
+                raise error from exc
+            if recorder is not None:
+                recorder.finish(
+                    stats=payload.pop("_stats_obj", None),
+                    incidents=int(payload.get("count", 0) or 0),
+                    endpoint=op,
+                )
+            else:
+                payload.pop("_stats_obj", None)
+            if clamped.clamped:
+                payload["clamped"] = list(clamped.clamped)
+            return ServiceResponse(200, payload=payload, headers=dict(headers))
+
+    # ------------------------------------------------------------------
+    # GET endpoints
+    # ------------------------------------------------------------------
+
+    def _get_healthz(self) -> ServiceResponse:
+        return ServiceResponse(
+            200,
+            payload={
+                "status": "draining" if self.draining else "ok",
+                "version": __version__,
+                "stores": len(self.catalog),
+                "admission": self.admission.snapshot(),
+            },
+        )
+
+    def _get_version(self) -> ServiceResponse:
+        return ServiceResponse(
+            200, payload={"service": "repro.service", "version": __version__}
+        )
+
+    def _get_metrics(self) -> ServiceResponse:
+        return ServiceResponse(200, text=self.metrics.to_prometheus())
+
+    def _get_logs(self) -> ServiceResponse:
+        return ServiceResponse(200, payload={"logs": self.catalog.describe()})
+
+    def _get_log_stats(self, name: str) -> ServiceResponse:
+        from repro.logstore.stats import summarize
+
+        store = self._store(name)
+        snapshot = self._snapshot(name)
+        summary = summarize(snapshot)
+        return ServiceResponse(
+            200,
+            payload={
+                "name": name,
+                "epoch": store.epoch,
+                "lineage": store.lineage,
+                "total_records": summary.total_records,
+                "instance_count": summary.instance_count,
+                "completed_instances": summary.completed_instances,
+                "length_min": summary.length_min,
+                "length_median": summary.length_median,
+                "length_p95": summary.length_p95,
+                "length_max": summary.length_max,
+                "activity_counts": dict(summary.activity_counts),
+                "attribute_names": sorted(summary.attribute_names),
+            },
+        )
+
+    def _store(self, name: str):
+        try:
+            return self.catalog.get(name)
+        except LogStoreError:
+            raise not_found(
+                f"unknown log {name!r}",
+                details={"available": list(self.catalog.names())},
+            ) from None
+
+    # ------------------------------------------------------------------
+    # POST endpoints
+    # ------------------------------------------------------------------
+
+    def _post_append(self, name: str, body: bytes | None) -> ServiceResponse:
+        self._check_draining()
+        request = parse_append_request(decode_json_body(body, what="append"))
+        self._store(name)  # 404 before any mutation
+        result = self.catalog.append_batch(name, request.records)
+        return ServiceResponse(200, payload=result)
+
+    def _post_query(
+        self, body: bytes | None, headers: dict[str, str]
+    ) -> ServiceResponse:
+        request = parse_query_request(decode_json_body(body, what="query"))
+        clamped = self.config.clamp(request.options)
+        snapshot = self._snapshot(request.log)
+
+        def run() -> dict[str, Any]:
+            query = Query(request.pattern, self._engine_options(clamped))
+            payload: dict[str, Any] = {
+                "log": request.log,
+                "pattern": request.pattern,
+                "mode": request.mode,
+                "epoch": snapshot.epoch,
+            }
+            if request.mode == "exists":
+                payload["exists"] = query.exists(snapshot)
+                payload["count"] = int(payload["exists"])
+            elif request.mode == "count":
+                payload["count"] = query.count(snapshot)
+            else:
+                incidents = query.run(snapshot)
+                rows = incidents.to_rows()
+                payload["count"] = len(rows)
+                if request.mode == "instances":
+                    payload["instances"] = sorted({row["wid"] for row in rows})
+                else:
+                    limit = request.limit
+                    shown = rows if limit is None else rows[:limit]
+                    payload["incidents"] = [
+                        {**row, "lsns": list(row["lsns"])} for row in shown
+                    ]
+                    payload["truncated"] = len(shown) < len(rows)
+            stats = query.engine.last_stats
+            payload["stats"] = stats_to_dict(stats)
+            payload["cache_layer"] = query.last_cache_layer
+            payload["_stats_obj"] = stats
+            return payload
+
+        return self._evaluate(
+            pattern=request.pattern,
+            op="http.query",
+            clamped=clamped,
+            headers=headers,
+            body=run,
+        )
+
+    def _post_batch(
+        self, body: bytes | None, headers: dict[str, str]
+    ) -> ServiceResponse:
+        request = parse_batch_request(decode_json_body(body, what="batch"))
+        clamped = self.config.clamp(request.options)
+        snapshot = self._snapshot(request.log)
+
+        def run() -> dict[str, Any]:
+            outcome = Query.evaluate_batch(
+                snapshot,
+                list(request.patterns),
+                optimize=clamped.optimize,
+                analyze=request.analyze,
+                jobs=clamped.jobs or 1,
+                backend=clamped.backend or "serial",
+                max_incidents=clamped.max_incidents,
+                metrics=self.metrics,
+                cache=self.cache if clamped.cache else None,
+                deadline_ms=clamped.deadline_ms,
+                max_pairs=clamped.max_pairs,
+            )
+            results = []
+            for text, incidents in zip(request.patterns, outcome.results):
+                rows = incidents.to_rows()
+                shown = rows if request.limit is None else rows[: request.limit]
+                results.append(
+                    {
+                        "pattern": text,
+                        "count": len(rows),
+                        "incidents": [
+                            {**row, "lsns": list(row["lsns"])} for row in shown
+                        ],
+                        "truncated": len(shown) < len(rows),
+                    }
+                )
+            return {
+                "log": request.log,
+                "epoch": snapshot.epoch,
+                "count": sum(item["count"] for item in results),
+                "results": results,
+                "stats": stats_to_dict(outcome.stats),
+                "shared_hits": outcome.shared_hits,
+                "cache_hits": outcome.cache_hits,
+                "subsumed": outcome.subsumed,
+                "proofs": outcome.proofs,
+                "backend": outcome.backend,
+                "jobs": outcome.jobs,
+                "_stats_obj": outcome.stats,
+            }
+
+        return self._evaluate(
+            pattern=" ; ".join(request.patterns),
+            op="http.batch",
+            clamped=clamped,
+            headers=headers,
+            body=run,
+        )
+
+    def _post_lint(self, body: bytes | None) -> ServiceResponse:
+        from repro.core.lint import Linter, Severity
+        from repro.core.parser import parse_with_spans
+
+        request = parse_lint_request(decode_json_body(body, what="lint"))
+        parsed = parse_with_spans(request.pattern)  # 400 via map_exception
+        log = self._snapshot(request.log) if request.log is not None else None
+        linter = Linter.for_context(log=log)
+        diagnostics = linter.lint(parsed)
+        return ServiceResponse(
+            200,
+            payload={
+                "pattern": request.pattern,
+                "ok": not any(d.severity == Severity.ERROR for d in diagnostics),
+                "diagnostics": [d.to_dict() for d in diagnostics],
+            },
+        )
+
+    def _post_explain(
+        self, body: bytes | None, headers: dict[str, str]
+    ) -> ServiceResponse:
+        request = parse_explain_request(decode_json_body(body, what="explain"))
+        clamped = self.config.clamp(request.options)
+        snapshot = self._snapshot(request.log)
+
+        def run() -> dict[str, Any]:
+            query = Query(request.pattern, self._engine_options(clamped))
+            plan = query.plan(snapshot)
+            return {
+                "log": request.log,
+                "pattern": request.pattern,
+                "optimized": str(plan.optimized),
+                "changed": plan.optimized != query.pattern,
+                "explain": query.explain(snapshot),
+                "count": 0,
+            }
+
+        return self._evaluate(
+            pattern=request.pattern,
+            op="http.explain",
+            clamped=clamped,
+            headers=headers,
+            body=run,
+        )
+
+    def _post_analyze(
+        self, body: bytes | None, headers: dict[str, str]
+    ) -> ServiceResponse:
+        from repro.analysis import PatternProver, default_prover
+        from repro.core.parser import parse
+
+        request = parse_analyze_request(decode_json_body(body, what="analyze"))
+        clamped = self.config.clamp({})
+
+        def run() -> dict[str, Any]:
+            prover = (
+                PatternProver(max_states=request.max_states)
+                if request.max_states is not None
+                else default_prover()
+            )
+            p, q = parse(request.p), parse(request.q)
+            if request.op == "equivalent":
+                witness = prover.witness(p, q)
+            else:
+                witness = prover.containment_witness(p, q)
+            return {
+                "op": request.op,
+                "p": request.p,
+                "q": request.q,
+                "result": witness is None,
+                "witness": None if witness is None else witness.format(),
+                "count": 0,
+            }
+
+        return self._evaluate(
+            pattern=f"{request.p} ~ {request.q}",
+            op="http.analyze",
+            clamped=clamped,
+            headers=headers,
+            body=run,
+        )

@@ -127,6 +127,7 @@ class TestRegistry:
             "incremental",
             "cache",
             "journal",
+            "service",
         }
         assert "smoke" in registry.suites()
         # every smoke case is also a full case: full is the superset sweep

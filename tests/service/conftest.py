@@ -1,0 +1,40 @@
+"""Service-test fixtures: a catalog over the simulated clinic log and a
+factory for in-process :class:`QueryService` instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.journal import QueryJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.service import QueryService, ServiceConfig, StoreCatalog
+
+
+@pytest.fixture()
+def make_service(clinic_log):
+    """Factory: a fresh service over a fresh clinic-log store per call."""
+
+    def build(
+        config: ServiceConfig | None = None,
+        *,
+        journal: bool = False,
+        extra_logs: dict | None = None,
+    ) -> QueryService:
+        registry = MetricsRegistry()
+        catalog = StoreCatalog(metrics=registry)
+        catalog.add_log("clinic", clinic_log)
+        for name, log in (extra_logs or {}).items():
+            catalog.add_log(name, log)
+        return QueryService(
+            catalog,
+            config if config is not None else ServiceConfig(),
+            metrics=registry,
+            journal=QueryJournal(None) if journal else None,
+        )
+
+    return build
+
+
+@pytest.fixture()
+def service(make_service) -> QueryService:
+    return make_service()

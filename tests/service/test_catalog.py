@@ -1,0 +1,125 @@
+"""StoreCatalog: registration, config/directory loading, live appends."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.core.errors import LogStoreError, ReproError
+from repro.logstore import LogStore, write_jsonl
+from repro.service import StoreCatalog
+from repro.service.schemas import parse_append_request
+
+
+def _store_with(activities: list[str]) -> LogStore:
+    store = LogStore()
+    wid = store.open_instance()
+    for activity in activities:
+        store.append(wid, activity)
+    store.close_instance(wid)
+    return store
+
+
+def test_add_and_get() -> None:
+    catalog = StoreCatalog()
+    store = _store_with(["A", "B"])
+    catalog.add("one", store)
+    assert catalog.get("one") is store
+    assert "one" in catalog
+    assert catalog.names() == ("one",)
+
+
+def test_duplicate_name_refused() -> None:
+    catalog = StoreCatalog()
+    catalog.add("one", _store_with(["A"]))
+    with pytest.raises(ReproError, match="already registered"):
+        catalog.add("one", _store_with(["B"]))
+
+
+def test_unknown_name_raises_logstore_error() -> None:
+    with pytest.raises(LogStoreError, match="unknown log"):
+        StoreCatalog().get("nope")
+
+
+def test_add_log_seeds_live_store(clinic_log) -> None:
+    catalog = StoreCatalog()
+    store = catalog.add_log("clinic", clinic_log)
+    assert len(store) == len(clinic_log.records)
+    assert store.epoch == len(clinic_log.records)
+    listing = catalog.describe()
+    assert listing[0]["name"] == "clinic"
+    assert listing[0]["records"] == len(clinic_log.records)
+    assert listing[0]["epoch"] == store.epoch
+
+
+def test_from_directory(tmp_path, clinic_log) -> None:
+    write_jsonl(clinic_log, tmp_path / "clinic.jsonl")
+    write_jsonl(clinic_log, tmp_path / "copy.jsonl")
+    (tmp_path / "notes.txt").write_text("ignored")
+    catalog = StoreCatalog.from_directory(tmp_path)
+    assert catalog.names() == ("clinic", "copy")
+
+
+def test_from_directory_empty_refused(tmp_path) -> None:
+    with pytest.raises(ReproError, match="no log files"):
+        StoreCatalog.from_directory(tmp_path)
+
+
+def test_from_config_json(tmp_path, clinic_log) -> None:
+    write_jsonl(clinic_log, tmp_path / "clinic.jsonl")
+    config = tmp_path / "catalog.json"
+    config.write_text(json.dumps({"logs": {"clinic": "clinic.jsonl"}}))
+    catalog = StoreCatalog.from_config(config)
+    assert catalog.names() == ("clinic",)
+
+
+def test_from_config_missing_file_refused(tmp_path) -> None:
+    config = tmp_path / "catalog.json"
+    config.write_text(json.dumps({"logs": {"clinic": "missing.jsonl"}}))
+    with pytest.raises(ReproError, match="missing file"):
+        StoreCatalog.from_config(config)
+
+
+def test_from_config_toml(tmp_path, clinic_log) -> None:
+    write_jsonl(clinic_log, tmp_path / "clinic.jsonl")
+    config = tmp_path / "catalog.toml"
+    config.write_text('[logs]\nclinic = "clinic.jsonl"\n')
+    if sys.version_info >= (3, 11):
+        catalog = StoreCatalog.from_config(config)
+        assert catalog.names() == ("clinic",)
+    else:
+        with pytest.raises(ReproError, match="JSON"):
+            StoreCatalog.from_config(config)
+
+
+def test_append_batch_bumps_epoch() -> None:
+    catalog = StoreCatalog()
+    catalog.add("log", _store_with(["A"]))
+    before = catalog.get("log").epoch
+    request = parse_append_request(
+        {
+            "records": [
+                {"activity": "START"},
+                {"activity": "A", "wid": 2},
+                {"activity": "END", "wid": 2},
+            ]
+        }
+    )
+    result = catalog.append_batch("log", request.records)
+    assert result["appended"] == 1
+    assert result["opened"] == 1
+    assert result["closed"] == 1
+    assert result["epoch"] == before + 3
+    assert catalog.get("log").epoch == before + 3
+
+
+def test_append_to_closed_instance_raises() -> None:
+    catalog = StoreCatalog()
+    catalog.add("log", _store_with(["A"]))
+    request = parse_append_request(
+        {"records": [{"activity": "B", "wid": 1}]}
+    )
+    with pytest.raises(LogStoreError, match="closed"):
+        catalog.append_batch("log", request.records)

@@ -1,0 +1,92 @@
+"""``repro-logs serve``: announce, serve, shut down cleanly on SIGTERM."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import urllib.request
+
+import pytest
+
+from repro.logstore import write_jsonl
+from repro.obs.journal import read_journal, validate_journal
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+def _spawn(args: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(_SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+@pytest.fixture()
+def clinic_file(tmp_path, clinic_log):
+    path = tmp_path / "clinic.jsonl"
+    write_jsonl(clinic_log, path)
+    return path
+
+
+def test_serve_round_trip_and_sigterm(tmp_path, clinic_file) -> None:
+    journal_path = tmp_path / "journal.jsonl"
+    proc = _spawn(
+        [
+            "serve",
+            "--port", "0",
+            "--store", f"clinic={clinic_file}",
+            "--journal", str(journal_path),
+            "--max-concurrency", "2",
+        ]
+    )
+    try:
+        announce = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:\d+", announce)
+        assert match, f"no announce line: {announce!r}"
+        url = match.group(0)
+
+        with urllib.request.urlopen(url + "/healthz", timeout=10) as response:
+            health = json.loads(response.read())
+        assert health["status"] == "ok"
+        assert health["stores"] == 1
+
+        body = json.dumps({"log": "clinic", "pattern": "GetRefer"}).encode()
+        request = urllib.request.Request(
+            url + "/v1/query", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            doc = json.loads(response.read())
+        assert doc["count"] > 0
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=20)
+
+    assert code == 0
+    # the shutdown path flushed the journal sink: the artifact validates
+    events = read_journal(journal_path)
+    validate_journal(events)
+    assert any(event["event"] == "finish" for event in events)
+
+
+def test_serve_requires_a_catalog_source() -> None:
+    proc = _spawn(["serve", "--port", "0"])
+    _, stderr = proc.communicate(timeout=30)
+    assert proc.returncode == 2
+    assert "--catalog" in stderr
+
+
+def test_serve_rejects_malformed_store_spec(clinic_file) -> None:
+    proc = _spawn(["serve", "--port", "0", "--store", str(clinic_file)])
+    _, stderr = proc.communicate(timeout=30)
+    assert proc.returncode == 2
+    assert "NAME=PATH" in stderr

@@ -1,0 +1,158 @@
+"""The daemon over real sockets: concurrent clients, bounding, shedding.
+
+This is the acceptance-criteria test: one daemon process serves ≥ 8
+concurrent ``POST /v1/query`` clients with byte-identical incident sets
+to direct :class:`Query` evaluation, the admission pool bounds in-flight
+evaluations, and saturation sheds with 429 instead of degrading.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.options import EngineOptions
+from repro.core.query import Query
+from repro.service import QueryService, ServiceConfig, ServiceServer, StoreCatalog
+
+PATTERNS = [
+    "GetRefer",
+    "GetRefer -> CheckIn",
+    "CheckIn -> Treatment",
+    "GetRefer -> (CheckIn | CheckOut)",
+]
+
+
+@pytest.fixture()
+def server(clinic_log):
+    catalog = StoreCatalog()
+    catalog.add_log("clinic", clinic_log)
+    service = QueryService(
+        catalog, ServiceConfig(port=0, max_concurrency=2, queue_depth=32)
+    )
+    with ServiceServer(service) as running:
+        yield running
+
+
+def _request(url: str, method: str, path: str, body: dict | None = None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def test_eight_concurrent_clients_byte_identical(server, clinic_log) -> None:
+    expected = {}
+    for pattern in PATTERNS:
+        rows = Query(pattern, EngineOptions()).run(clinic_log).to_rows()
+        expected[pattern] = json.loads(
+            json.dumps([{**row, "lsns": list(row["lsns"])} for row in rows])
+        )
+
+    jobs = [PATTERNS[i % len(PATTERNS)] for i in range(8)]
+
+    def run(pattern: str):
+        return pattern, _request(
+            server.url,
+            "POST",
+            "/v1/query",
+            {"log": "clinic", "pattern": pattern, "options": {"cache": False}},
+        )
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        outcomes = list(pool.map(run, jobs))
+
+    for pattern, (status, headers, body) in outcomes:
+        assert status == 200
+        assert headers["X-Query-Id"].startswith("q-")
+        assert headers["X-Trace-Id"].startswith("t-")
+        doc = json.loads(body)
+        assert doc["incidents"] == expected[pattern]
+        assert doc["count"] == len(expected[pattern])
+
+    # the semaphore held: never more than max_concurrency evaluating
+    snapshot = server.service.admission.snapshot()
+    assert snapshot["admitted"] == 8
+    assert snapshot["peak_in_flight"] <= 2
+    assert snapshot["rejected"] == 0
+
+
+def test_sheds_with_429_over_http(clinic_log) -> None:
+    catalog = StoreCatalog()
+    catalog.add_log("clinic", clinic_log)
+    service = QueryService(
+        catalog,
+        ServiceConfig(port=0, max_concurrency=1, queue_depth=0, retry_after_s=2.0),
+    )
+    with ServiceServer(service) as server:
+        with service.admission.slot():  # saturate deterministically
+            status, headers, body = _request(
+                server.url,
+                "POST",
+                "/v1/query",
+                {"log": "clinic", "pattern": "GetRefer"},
+            )
+        assert status == 429
+        assert headers["Retry-After"] == "2"
+        assert json.loads(body)["error"]["code"] == "saturated"
+        # a slot freed: the very next request succeeds — no degradation
+        status, _, _ = _request(
+            server.url, "POST", "/v1/query",
+            {"log": "clinic", "pattern": "GetRefer"},
+        )
+        assert status == 200
+
+
+def test_metrics_exposition_parses_over_http(server) -> None:
+    _request(server.url, "POST", "/v1/query", {"log": "clinic", "pattern": "GetRefer"})
+    status, headers, body = _request(server.url, "GET", "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    for line in body.decode().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name
+        float(value)  # every sample value must parse
+
+
+def test_404_and_method_contract_over_http(server) -> None:
+    status, _, _ = _request(server.url, "GET", "/nope")
+    assert status == 404
+    status, _, body = _request(server.url, "PUT", "/v1/query", {})
+    assert status == 405
+    assert json.loads(body)["error"]["details"]["allowed"] == ["POST"]
+
+
+def test_payload_too_large_over_http(clinic_log) -> None:
+    catalog = StoreCatalog()
+    catalog.add_log("clinic", clinic_log)
+    service = QueryService(catalog, ServiceConfig(port=0, max_body_bytes=64))
+    with ServiceServer(service) as server:
+        status, _, body = _request(
+            server.url,
+            "POST",
+            "/v1/query",
+            {"log": "clinic", "pattern": "A" * 200},
+        )
+    assert status == 413
+    assert json.loads(body)["error"]["code"] == "payload_too_large"
+
+
+def test_server_stop_drains(server) -> None:
+    status, _, _ = _request(server.url, "GET", "/healthz")
+    assert status == 200
+    server.stop()
+    assert server.service.draining

@@ -1,0 +1,184 @@
+"""Wire-schema validators: strict field checking with 400 diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.errors import ServiceError
+from repro.service.schemas import (
+    decode_json_body,
+    parse_analyze_request,
+    parse_append_request,
+    parse_batch_request,
+    parse_lint_request,
+    parse_query_request,
+)
+
+
+def _messages(error: ServiceError) -> str:
+    assert error.status == 400
+    return " | ".join(d["message"] for d in error.details["diagnostics"])
+
+
+class TestQueryRequest:
+    def test_minimal(self):
+        request = parse_query_request({"log": "clinic", "pattern": "A -> B"})
+        assert request.log == "clinic"
+        assert request.pattern == "A -> B"
+        assert request.mode == "incidents"
+        assert request.limit is None
+        assert request.options == {}
+
+    def test_full(self):
+        request = parse_query_request(
+            {
+                "log": "clinic",
+                "pattern": "A",
+                "mode": "count",
+                "limit": 5,
+                "options": {"engine": "naive", "jobs": 2, "deadline_ms": 10.5,
+                            "max_pairs": 100, "optimize": False, "cache": False},
+            }
+        )
+        assert request.mode == "count"
+        assert request.options["engine"] == "naive"
+        assert request.options["deadline_ms"] == 10.5
+
+    def test_missing_required_fields(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_query_request({})
+        messages = _messages(excinfo.value)
+        assert "'log'" in messages and "'pattern'" in messages
+
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_query_request(
+                {"log": "l", "pattern": "A", "dedline_ms": 5}
+            )
+        assert "'dedline_ms': unknown field" in _messages(excinfo.value)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_query_request(
+                {"log": "l", "pattern": "A", "options": {"max_paris": 1}}
+            )
+        assert "'options.max_paris': unknown option" in _messages(excinfo.value)
+
+    def test_bad_option_types(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_query_request(
+                {
+                    "log": "l",
+                    "pattern": "A",
+                    "options": {"jobs": 0, "deadline_ms": -1, "cache": "yes"},
+                }
+            )
+        messages = _messages(excinfo.value)
+        assert "'options.jobs'" in messages
+        assert "'options.deadline_ms'" in messages
+        assert "'options.cache'" in messages
+
+    def test_bad_mode(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_query_request({"log": "l", "pattern": "A", "mode": "explode"})
+        assert "'mode': must be one of" in _messages(excinfo.value)
+
+    def test_body_must_be_object(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_query_request([1, 2])
+        assert excinfo.value.status == 400
+
+    def test_diagnostics_are_lint_shaped(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_query_request({"log": 3, "pattern": "A"})
+        diagnostic = excinfo.value.details["diagnostics"][0]
+        assert set(diagnostic) == {"code", "severity", "message", "span", "suggestion"}
+        assert diagnostic["code"] == "SVC400"
+        assert diagnostic["severity"] == "error"
+
+
+class TestBatchRequest:
+    def test_roundtrip(self):
+        request = parse_batch_request(
+            {"log": "l", "patterns": ["A", "B -> C"], "analyze": False}
+        )
+        assert request.patterns == ("A", "B -> C")
+        assert request.analyze is False
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_batch_request({"log": "l", "patterns": []})
+        assert "'patterns': must not be empty" in _messages(excinfo.value)
+
+    def test_non_string_pattern_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_batch_request({"log": "l", "patterns": ["A", 7]})
+        assert "'patterns[1]'" in _messages(excinfo.value)
+
+
+class TestLintAndAnalyze:
+    def test_lint(self):
+        request = parse_lint_request({"pattern": "A -> B"})
+        assert request.log is None
+
+    def test_lint_unknown_field(self):
+        with pytest.raises(ServiceError):
+            parse_lint_request({"pattern": "A", "mode": "x"})
+
+    def test_analyze(self):
+        request = parse_analyze_request({"op": "contains", "p": "A", "q": "B"})
+        assert request.op == "contains"
+        assert request.max_states is None
+
+    def test_analyze_bad_op(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_analyze_request({"op": "implies", "p": "A", "q": "B"})
+        assert "'op': must be one of" in _messages(excinfo.value)
+
+
+class TestAppendRequest:
+    def test_operations(self):
+        request = parse_append_request(
+            {
+                "records": [
+                    {"activity": "START"},
+                    {"activity": "CheckIn", "wid": 3, "attrs_out": {"x": 1}},
+                    {"activity": "END", "wid": 3},
+                ]
+            }
+        )
+        assert [r.activity for r in request.records] == ["START", "CheckIn", "END"]
+        assert request.records[1].attrs_out == {"x": 1}
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ServiceError):
+            parse_append_request({"records": []})
+
+    def test_wid_required_for_non_start(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_append_request({"records": [{"activity": "CheckIn"}]})
+        assert "wid is required" in _messages(excinfo.value)
+
+    def test_unknown_record_field(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_append_request(
+                {"records": [{"activity": "A", "wid": 1, "lsn": 5}]}
+            )
+        assert "'records[0].lsn'" in _messages(excinfo.value)
+
+
+class TestBodyDecoding:
+    def test_missing_body(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_json_body(None, what="query")
+        assert excinfo.value.status == 400
+
+    def test_invalid_json(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_json_body(b"{nope", what="query")
+        assert "not valid JSON" in str(excinfo.value)
+
+    def test_invalid_utf8(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_json_body(b"\xff\xfe{}", what="query")
+        assert "not valid UTF-8" in str(excinfo.value)
