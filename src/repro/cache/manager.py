@@ -296,6 +296,24 @@ class QueryCache:
                 "memo_bytes": self._memo.total_bytes,
             }
 
+    def hot_keys(self, *, limit: int = 10) -> dict[str, list[str]]:
+        """The most-recently-served keys per layer, hottest first.
+
+        "Hot" is LRU recency (the eviction order reversed) — the admin
+        cache endpoint's view of what the cache is actually earning its
+        bytes on.  Keys are rendered to strings; they are identifiers,
+        not reconstructable values.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            results = self._results.keys()[-limit:]
+            memo = self._memo.keys()[-limit:]
+        return {
+            "results": [str(key) for key in reversed(results)],
+            "memo": [str(key) for key in reversed(memo)],
+        }
+
     #: Counters the journal attributes to individual queries.
     _ATTRIBUTED = ("result_hits", "result_misses", "memo_hits", "memo_misses")
 

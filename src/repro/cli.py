@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
 from pathlib import Path
@@ -478,6 +479,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text", help="output format"
     )
 
+    slo = commands.add_parser(
+        "slo",
+        help="replay a journal through the windowed SLO engine "
+        "(same aggregator as the live admin plane)",
+    )
+    slo.add_argument(
+        "--journal", required=True, metavar="PATH", help="JSONL journal file"
+    )
+    slo.add_argument(
+        "--window", type=float, default=300.0, metavar="SECONDS",
+        help="trailing stats window to report (default 300)",
+    )
+    slo.add_argument(
+        "--bucket", type=float, default=10.0, metavar="SECONDS",
+        help="aggregation bucket width (default 10)",
+    )
+    slo.add_argument(
+        "--fast-window", type=float, default=300.0, metavar="SECONDS",
+        help="fast burn-rate window (default 300)",
+    )
+    slo.add_argument(
+        "--slow-window", type=float, default=3600.0, metavar="SECONDS",
+        help="slow burn-rate window (default 3600)",
+    )
+    slo.add_argument(
+        "--availability-target", type=float, default=0.999,
+        help="availability objective (default 0.999)",
+    )
+    slo.add_argument(
+        "--latency-target", type=float, default=0.95,
+        help="latency objective (default 0.95)",
+    )
+    slo.add_argument(
+        "--latency-threshold-ms", type=float, default=500.0, metavar="MS",
+        help="latency objective threshold (default 500ms)",
+    )
+    slo.add_argument(
+        "--burn-threshold", type=float, default=1.0,
+        help="burn multiple at which an objective breaches (default 1.0)",
+    )
+    slo.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows per attribution table (default 10)",
+    )
+    slo.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+
     batch = commands.add_parser(
         "batch",
         help="evaluate several patterns in one shared-scan pass",
@@ -690,6 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-layer byte budget for the shared query cache")
     serve.add_argument("--journal", default=None, metavar="PATH",
                        help="append query lifecycle events to this JSONL file")
+    serve.add_argument("--access-log", action="store_true",
+                       help="emit one structured JSON access-log line per "
+                       "request on the repro.service.access logger")
 
     return parser
 
@@ -1330,6 +1382,108 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs.export import SchemaError
+    from repro.obs.journal import read_journal
+    from repro.obs.live import SloEngine, SloObjective, SloPolicy, WindowedAggregator
+
+    try:
+        events = read_journal(args.journal, validate=False)
+    except FileNotFoundError:
+        raise ReproError(f"no journal at {args.journal!r}") from None
+    except SchemaError as exc:
+        raise ReproError(f"{args.journal}: {exc}") from None
+
+    # the ring must span every window we are asked to answer
+    span = max(args.window, args.slow_window, args.fast_window, args.bucket)
+    aggregator = WindowedAggregator(bucket_s=args.bucket, window_s=span)
+    ingested = aggregator.replay(events)
+    if ingested == 0:
+        raise ReproError(
+            f"{args.journal}: no terminal (finish/killed) events to replay"
+        )
+    # report "as of" the newest terminal event, not wall-clock now — a
+    # replay of last week's journal should see last week's traffic
+    last_ts = max(
+        float(event["ts_unix"])
+        for event in events
+        if event.get("event") in ("finish", "killed")
+        and isinstance(event.get("ts_unix"), (int, float))
+    )
+    policy = SloPolicy(
+        objectives=(
+            SloObjective(
+                name="availability",
+                kind="availability",
+                target=args.availability_target,
+            ),
+            SloObjective(
+                name="latency",
+                kind="latency",
+                target=args.latency_target,
+                latency_threshold_s=args.latency_threshold_ms / 1000.0,
+            ),
+        ),
+        fast_window_s=args.fast_window,
+        slow_window_s=args.slow_window,
+        burn_threshold=args.burn_threshold,
+    )
+    stats = aggregator.window(args.window, now=last_ts).report(top=args.top)
+    slo = SloEngine(policy, aggregator).report(now=last_ts)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"replayed": ingested, "stats": stats, "slo": slo},
+                indent=2,
+                ensure_ascii=False,
+            )
+        )
+        return 0
+
+    latency = stats["latency"]
+    print(
+        f"replayed {ingested} terminal event(s); trailing {args.window:g}s "
+        f"window as of the newest event:"
+    )
+    print(
+        f"  requests {stats['requests']}  errors {stats['errors']}  "
+        f"killed {stats['killed']}  error_ratio {stats['error_ratio']:.4f}"
+    )
+    print(
+        f"  latency p50 {latency['p50_s'] * 1000:.1f}ms  "
+        f"p95 {latency['p95_s'] * 1000:.1f}ms  "
+        f"p99 {latency['p99_s'] * 1000:.1f}ms"
+    )
+    for title, rows_key in (("route", "routes"), ("store", "stores"),
+                            ("pattern", "patterns")):
+        rows = stats[rows_key]
+        if not rows:
+            continue
+        print(f"  by {title}:")
+        for row in rows:
+            print(
+                f"    {row['count']:>6}  err {row['errors']:>4}  "
+                f"p95 {row['p95_s'] * 1000:>8.1f}ms  {row['key']}"
+            )
+    print(
+        f"slo (burn threshold {slo['burn_threshold']:g}x, fast "
+        f"{slo['fast_window_s']:g}s / slow {slo['slow_window_s']:g}s):"
+    )
+    for row in slo["objectives"]:
+        state = "BREACH" if row["breach"] else "ok"
+        print(
+            f"  {row['name']:<14} target {row['target']:.4f}  "
+            f"burn fast {row['burn_fast']:>8.2f}x  "
+            f"slow {row['burn_slow']:>8.2f}x  "
+            f"budget left {row['budget_remaining'] * 100:>6.1f}%  {state}"
+        )
+    if slo["breaching"]:
+        print(f"--- breaching: {', '.join(slo['breaching'])} ---")
+        return 1
+    print("--- all objectives within budget ---")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.journal import QueryJournal
     from repro.service import QueryService, ServiceConfig, StoreCatalog
@@ -1363,7 +1517,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pairs_ceiling=args.max_pairs_ceiling,
         jobs_ceiling=args.jobs_ceiling,
         cache_bytes=args.cache_bytes,
+        access_log=args.access_log,
     )
+    if args.access_log:
+        # access lines ride the repro.* logging hierarchy; make sure they
+        # reach stderr even without -v
+        logging.getLogger("repro.service.access").setLevel(logging.INFO)
+        if args.verbose == 0:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            logging.getLogger("repro.service.access").addHandler(handler)
     journal = (
         QueryJournal(args.journal, metrics=registry, memory=False)
         if args.journal
@@ -1384,6 +1547,7 @@ _HANDLERS = {
     "batch": _cmd_batch,
     "events": _cmd_events,
     "top": _cmd_top,
+    "slo": _cmd_slo,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
     "stats": _cmd_stats,

@@ -59,13 +59,19 @@ class CancelToken:
     """A cooperative cancellation flag shared by in-process shards.
 
     Not picklable on purpose — see the module docstring for how process
-    backends achieve promptness without one.
+    backends achieve promptness without one.  ``reason`` (optional,
+    recorded by the first :meth:`set`) travels into the
+    :class:`~repro.core.errors.QueryCancelled` message, so an admin kill
+    reads as an admin kill rather than a sibling budget trip.
     """
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self.reason: str | None = None
 
-    def set(self) -> None:
+    def set(self, reason: str | None = None) -> None:
+        if reason is not None and self.reason is None:
+            self.reason = reason
         self._event.set()
 
     def is_set(self) -> bool:
@@ -163,6 +169,11 @@ class ResourceGovernor:
         self._clock = clock
         self._started = clock()
         self._charged = 0
+        #: live progress, refreshed at every checkpoint — the inflight
+        #: introspection surface (``/v1/admin/inflight``) reads these
+        #: without any locking (single int/float writes are atomic).
+        self.checkpoints = 0
+        self.pairs_seen = 0
 
     @classmethod
     def from_context(
@@ -199,9 +210,13 @@ class ResourceGovernor:
         report the cooperative kill, not a coincidental local budget),
         then the pairs budget, then the deadline.
         """
+        self.checkpoints += 1
+        if stats is not None:
+            self.pairs_seen = self._charged + stats.pairs_examined
         if self.cancel is not None and self.cancel.is_set():
+            reason = self.cancel.reason or "a sibling shard exhausted the budget"
             raise QueryCancelled(
-                "query cancelled: a sibling shard exhausted the budget",
+                f"query cancelled: {reason}",
                 partial_stats=_detach(stats),
             )
         if self.max_pairs is not None:

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.manager import QueryCache
     from repro.cache.policy import CachePolicy
     from repro.core.eval.base import Engine
+    from repro.core.governor import CancelToken
     from repro.obs.journal import QueryJournal
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
@@ -89,6 +90,13 @@ class EngineOptions:
         Optional :class:`~repro.obs.journal.QueryJournal` receiving the
         query's lifecycle events (submit/plan/cache/shard/evaluate and a
         terminal finish or killed record).  See ``docs/OBSERVABILITY.md``.
+    cancel:
+        Optional shared :class:`~repro.core.governor.CancelToken`; when
+        an external party sets it, the run raises
+        :class:`~repro.core.errors.QueryCancelled` at its next
+        cooperative checkpoint (the admin-kill hook behind
+        ``DELETE /v1/admin/inflight/{query_id}``).  Serial and thread
+        backends only — the token does not pickle.
     """
 
     engine: "str | Engine | None" = None
@@ -106,6 +114,7 @@ class EngineOptions:
     deadline_ms: float | None = None
     max_pairs: int | None = None
     journal: "QueryJournal | None" = field(default=None, compare=False)
+    cancel: "CancelToken | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKENDS:

@@ -286,7 +286,7 @@ class Query:
         opts = self.options
         ctx: QueryContext | None = None
         recorder = None
-        if opts.journal is not None or opts.governed:
+        if opts.journal is not None or opts.governed or opts.cancel is not None:
             ctx = QueryContext.new(
                 deadline_ms=opts.deadline_ms,
                 max_pairs=opts.max_pairs,
@@ -300,8 +300,11 @@ class Query:
             )
             recorder.submit()
         governor = None
-        if ctx is not None and ctx.governed and not self.is_parallel:
-            governor = ResourceGovernor.from_context(ctx)
+        if ctx is not None and not self.is_parallel:
+            # a bare cancel token still builds a governor (from_context
+            # handles the budget-free case), so external cancellation
+            # works even on unbudgeted runs
+            governor = ResourceGovernor.from_context(ctx, cancel=opts.cancel)
         self.engine.governor = governor
         return ctx, recorder
 

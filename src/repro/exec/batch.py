@@ -274,6 +274,7 @@ def evaluate_batch(
     deadline_ms: float | None = None,
     max_pairs: int | None = None,
     journal: QueryJournal | None = None,
+    cancel: CancelToken | None = None,
 ) -> BatchResult:
     """Evaluate N queries over one log with shared subpattern scans.
 
@@ -334,7 +335,12 @@ def evaluate_batch(
 
     ctx: QueryContext | None = None
     recorder: RunRecorder | None = None
-    if journal is not None or deadline_ms is not None or max_pairs is not None:
+    if (
+        journal is not None
+        or deadline_ms is not None
+        or max_pairs is not None
+        or cancel is not None
+    ):
         ctx = QueryContext.new(
             deadline_ms=deadline_ms,
             max_pairs=max_pairs,
@@ -409,11 +415,14 @@ def evaluate_batch(
             # sibling-cancellation token, in-process backends only (an
             # Event does not pickle; process shards self-enforce via the
             # absolute deadline plus ``cancel_futures``)
-            cancel = (
-                CancelToken()
-                if ctx is not None and ctx.governed and backend_name != "process"
-                else None
-            )
+            if backend_name == "process":
+                shard_cancel = None  # events do not pickle
+            elif cancel is not None:
+                shard_cancel = cancel  # caller-supplied (admin kill hook)
+            elif ctx is not None and ctx.governed:
+                shard_cancel = CancelToken()
+            else:
+                shard_cancel = None
             tasks = [
                 _BatchShardTask(
                     shard_index=index,
@@ -424,7 +433,7 @@ def evaluate_batch(
                     max_incidents=max_incidents,
                     cache=task_cache,
                     ctx=ctx,
-                    cancel=cancel,
+                    cancel=shard_cancel,
                     journal=recorder is not None,
                 )
                 for index, shard_log in enumerate(shard_logs)
@@ -442,8 +451,8 @@ def evaluate_batch(
                 except QueryGovernorError as exc:
                     # set the token before the pool joins, so running
                     # siblings bail at their next cooperative checkpoint
-                    if cancel is not None:
-                        cancel.set()
+                    if shard_cancel is not None:
+                        shard_cancel.set()
                     if recorder is not None:
                         recorder.killed(exc, queries=len(resolved))
                     raise

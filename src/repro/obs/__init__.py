@@ -15,6 +15,10 @@ Three layers, each usable on its own:
   (``repro.obs.journal/v1``) with resource accounting and the
   slow-query / per-pattern-ranking views behind ``repro-logs events``
   and ``repro-logs top``;
+* :mod:`repro.obs.live` — rolling time-windowed telemetry aggregation
+  (request outcomes + journal terminal events into one ring of
+  mergeable histogram buckets) and the SLO burn-rate engine behind the
+  service's admin plane and ``repro-logs slo``;
 * :mod:`repro.obs.log` — the ``repro.*`` stdlib-logging hierarchy;
 * :mod:`repro.obs.flamegraph` — folded-stacks text and self-contained
   HTML flamegraphs for any recorded span tree;
@@ -55,6 +59,14 @@ from repro.obs.journal import (
     validate_journal,
     validate_journal_event,
 )
+from repro.obs.live import (
+    SloEngine,
+    SloObjective,
+    SloPolicy,
+    WindowedAggregator,
+    WindowSnapshot,
+    pattern_shape,
+)
 from repro.obs.log import enable_verbose, get_logger, install_null_handler
 from repro.obs.metrics import (
     Counter,
@@ -94,6 +106,12 @@ __all__ = [
     "filter_events",
     "slow_queries",
     "top_patterns",
+    "WindowedAggregator",
+    "WindowSnapshot",
+    "SloEngine",
+    "SloObjective",
+    "SloPolicy",
+    "pattern_shape",
     "trace_to_dict",
     "metrics_to_dict",
     "render_trace",

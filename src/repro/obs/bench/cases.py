@@ -425,6 +425,51 @@ def register_standard_cases(registry: BenchRegistry) -> None:
         return run
 
     @registry.case(
+        "live.window",
+        suites=("smoke", "full"),
+        description="windowed telemetry hot path: observe_request into the "
+        "ring + merge a trailing 5-minute WindowSnapshot",
+        observations=2_000,
+    )
+    def _live_window(observations: int) -> Callable[[], Any]:
+        from repro.obs.live import WindowedAggregator
+
+        # deterministic synthetic traffic over a 10-minute span so the
+        # window merge walks many buckets with mixed attribution keys
+        routes = ("/v1/query", "/v1/batch", "/v1/explain")
+        stores = ("clinic", "orders", "loans")
+        outcomes = [
+            (
+                routes[i % 3],
+                stores[i % 3],
+                f"A -> B{i % 7}",
+                200 if i % 17 else 408,
+                0.001 + (i % 50) / 1000.0,
+                600.0 + i * (600.0 / observations),
+            )
+            for i in range(observations)
+        ]
+
+        def run() -> Any:
+            aggregator = WindowedAggregator(bucket_s=10.0, window_s=900.0)
+            for route, store, pattern, status, duration, ts in outcomes:
+                aggregator.observe_request(
+                    route,
+                    status,
+                    duration,
+                    store=store,
+                    pattern=pattern,
+                    pairs=100,
+                    killed=status == 408,
+                    ts=ts,
+                )
+            snapshot = aggregator.window(300.0, now=1200.0)
+            assert snapshot.total.count > 0
+            return snapshot.total.latency.quantile(0.95)
+
+        return run
+
+    @registry.case(
         "service.saturation",
         suites=("smoke", "full"),
         description="16 concurrent uncached dispatches against a 2-slot "

@@ -182,6 +182,70 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation within the
+        fixed buckets (the ``histogram_quantile`` rule).
+
+        The estimate interpolates between a bucket's lower and upper
+        boundary proportionally to the rank inside it; observations in
+        the overflow bucket clamp to the highest boundary, so the
+        estimate never exceeds ``buckets[-1]``.  An empty histogram
+        estimates 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, boundary in enumerate(self.buckets):
+            in_bucket = self.counts[index]
+            if cumulative + in_bucket >= rank:
+                if in_bucket == 0:
+                    return boundary
+                lower = self.buckets[index - 1] if index else 0.0
+                fraction = (rank - cumulative) / in_bucket
+                return lower + fraction * (boundary - lower)
+            cumulative += in_bucket
+        return self.buckets[-1]
+
+    def fraction_le(self, value: float) -> float:
+        """Estimated fraction of observations ``<= value`` (interpolated
+        within the containing bucket); 1.0 on an empty histogram."""
+        if self.count == 0:
+            return 1.0
+        if value >= self.buckets[-1]:
+            return 1.0
+        cumulative = 0
+        for index, boundary in enumerate(self.buckets):
+            if value <= boundary:
+                lower = self.buckets[index - 1] if index else 0.0
+                width = boundary - lower
+                fraction = 1.0 if width <= 0 else max(0.0, value - lower) / width
+                return (cumulative + fraction * self.counts[index]) / self.count
+            cumulative += self.counts[index]
+        return 1.0  # pragma: no cover - value < buckets[-1] always returns above
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical boundaries into this one
+        (the windowed-aggregation primitive)."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different boundaries: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.sum += other.sum
+        self.count += other.count
+
+    def reset(self) -> None:
+        """Zero every counter in place (ring-bucket reuse)."""
+        for index in range(len(self.counts)):
+            self.counts[index] = 0
+        self.sum = 0.0
+        self.count = 0
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.6g})"
 

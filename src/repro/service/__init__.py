@@ -14,10 +14,14 @@ Layering (each module usable on its own):
 - :mod:`repro.service.schemas` — request validation
 - :mod:`repro.service.catalog` — named stores (:class:`StoreCatalog`)
 - :mod:`repro.service.admission` — bounded pool + shed queue
+- :mod:`repro.service.inflight` — live-query registry + cooperative kill
 - :mod:`repro.service.handlers` — :class:`QueryService` (transport-free)
+- :mod:`repro.service.dashboard` — the zero-dependency HTML admin UI
 - :mod:`repro.service.server` — the stdlib HTTP adapter + :func:`serve`
 
-See ``docs/SERVICE.md`` for the endpoint reference and curl examples.
+The admin plane (``/v1/admin/*``, ``/dashboard``) surfaces the live
+windowed telemetry of :mod:`repro.obs.live`; see ``docs/SERVICE.md``
+for the endpoint reference and curl examples.
 """
 
 from repro.service.admission import AdmissionController
@@ -25,11 +29,14 @@ from repro.service.catalog import StoreCatalog
 from repro.service.config import ClampedOptions, ServiceConfig
 from repro.service.errors import ServiceError, map_exception
 from repro.service.handlers import QueryService, ServiceResponse
+from repro.service.inflight import InflightEntry, InflightRegistry
 from repro.service.server import ServiceServer, serve
 
 __all__ = [
     "AdmissionController",
     "ClampedOptions",
+    "InflightEntry",
+    "InflightRegistry",
     "QueryService",
     "ServiceConfig",
     "ServiceError",

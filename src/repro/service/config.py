@@ -14,11 +14,14 @@ the worker pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import ReproError
 from repro.core.options import BACKENDS
 from repro.core.query import ENGINES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.live import SloPolicy
 
 __all__ = ["ServiceConfig", "ClampedOptions"]
 
@@ -69,6 +72,24 @@ class ServiceConfig:
         Request bodies above this are refused with 413.
     retry_after_s:
         Hint rendered into ``Retry-After`` on 429/503 responses.
+    telemetry:
+        Whether the live windowed aggregator and the admin plane record
+        anything (default on; the bench overhead gate measures off→on).
+    telemetry_bucket_s / telemetry_window_s:
+        Width of one aggregation time bucket and the longest trailing
+        window the ring can answer (``/v1/admin/stats?window=``).
+    telemetry_top_k:
+        Per-bucket cap on distinct route/store/pattern attribution keys;
+        overflow folds into ``~other``.
+    slo_availability_target / slo_latency_target:
+        Default SLO objectives: fraction of non-error outcomes, and
+        fraction of requests at or under ``slo_latency_threshold_s``.
+    slo_fast_window_s / slo_slow_window_s / slo_burn_threshold:
+        Multi-window burn-rate alerting parameters (a breach requires
+        both windows to burn past the threshold).
+    access_log:
+        Emit one structured JSON access-log line per request on the
+        ``repro.service.access`` logger (the ``--access-log`` CLI flag).
     """
 
     host: str = "127.0.0.1"
@@ -83,6 +104,17 @@ class ServiceConfig:
     cache_bytes: int | None = None
     max_body_bytes: int = 8 * 1024 * 1024
     retry_after_s: float = 1.0
+    telemetry: bool = True
+    telemetry_bucket_s: float = 10.0
+    telemetry_window_s: float = 3600.0
+    telemetry_top_k: int = 32
+    slo_availability_target: float = 0.999
+    slo_latency_target: float = 0.95
+    slo_latency_threshold_s: float = 0.5
+    slo_fast_window_s: float = 300.0
+    slo_slow_window_s: float = 3600.0
+    slo_burn_threshold: float = 1.0
+    access_log: bool = False
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -101,6 +133,53 @@ class ServiceConfig:
             )
         if self.jobs_ceiling < 1:
             raise ReproError(f"jobs_ceiling must be >= 1, got {self.jobs_ceiling}")
+        if self.telemetry_bucket_s <= 0:
+            raise ReproError(
+                f"telemetry_bucket_s must be > 0, got {self.telemetry_bucket_s}"
+            )
+        if self.telemetry_window_s < self.telemetry_bucket_s:
+            raise ReproError(
+                f"telemetry_window_s ({self.telemetry_window_s}) must be >= "
+                f"telemetry_bucket_s ({self.telemetry_bucket_s})"
+            )
+        if self.slo_slow_window_s > self.telemetry_window_s:
+            raise ReproError(
+                f"slo_slow_window_s ({self.slo_slow_window_s}) must fit in "
+                f"telemetry_window_s ({self.telemetry_window_s})"
+            )
+        for name in ("slo_availability_target", "slo_latency_target"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ReproError(f"{name} must be in (0, 1), got {value}")
+
+    def slo_policy(self) -> "SloPolicy":
+        """The default SLO policy this configuration describes.
+
+        Two service-wide objectives — availability and a latency
+        quantile — over the configured fast/slow burn windows.  Custom
+        deployments can build richer per-route/per-store policies with
+        :class:`~repro.obs.live.SloObjective` directly.
+        """
+        from repro.obs.live import SloObjective, SloPolicy
+
+        return SloPolicy(
+            objectives=(
+                SloObjective(
+                    name="availability",
+                    kind="availability",
+                    target=self.slo_availability_target,
+                ),
+                SloObjective(
+                    name="latency",
+                    kind="latency",
+                    target=self.slo_latency_target,
+                    latency_threshold_s=self.slo_latency_threshold_s,
+                ),
+            ),
+            fast_window_s=self.slo_fast_window_s,
+            slow_window_s=self.slo_slow_window_s,
+            burn_threshold=self.slo_burn_threshold,
+        )
 
     def clamp(self, requested: dict[str, Any]) -> ClampedOptions:
         """Clamp one request's ``options`` object against the ceilings.

@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+from urllib.parse import parse_qs
 
 from repro import __version__
 from repro.cache.manager import QueryCache
@@ -44,7 +46,9 @@ from repro.core.errors import LogStoreError, ReproError
 from repro.core.governor import QueryContext, new_query_id, new_trace_id
 from repro.core.options import EngineOptions
 from repro.core.query import Query
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.live import SloEngine, WindowedAggregator
+from repro.obs.log import get_logger
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from repro.service.admission import AdmissionController
 from repro.service.catalog import StoreCatalog
 from repro.service.config import ClampedOptions, ServiceConfig
@@ -56,6 +60,7 @@ from repro.service.errors import (
     stats_to_dict,
     unavailable,
 )
+from repro.service.inflight import InflightEntry, InflightRegistry
 from repro.service.schemas import (
     decode_json_body,
     parse_analyze_request,
@@ -64,6 +69,7 @@ from repro.service.schemas import (
     parse_explain_request,
     parse_lint_request,
     parse_query_request,
+    parse_window_param,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,28 +78,69 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["QueryService", "ServiceResponse"]
 
+#: The structured access-log channel (one JSON line per request when
+#: :attr:`ServiceConfig.access_log` is on).
+_ACCESS_LOG = get_logger("service.access")
+
 
 @dataclass
 class ServiceResponse:
-    """One rendered response: status, JSON payload (or raw text), headers."""
+    """One rendered response: status, JSON payload (or raw text), headers.
+
+    ``media_type`` overrides the content type the transport sends (the
+    dashboard serves HTML); without it, ``text`` responses use the
+    Prometheus 0.0.4 type and payload responses JSON.  The encoded body
+    is cached — telemetry measures response sizes, so the transport
+    must not pay a second encode.
+    """
 
     status: int
     payload: Any = None
     text: str | None = None
     headers: dict[str, str] = field(default_factory=dict)
+    media_type: str | None = None
+    _encoded: bytes | None = field(default=None, repr=False, compare=False)
 
     @property
     def content_type(self) -> str:
+        if self.media_type is not None:
+            return self.media_type
         if self.text is not None:
             return "text/plain; version=0.0.4; charset=utf-8"
         return "application/json; charset=utf-8"
 
     def body(self) -> bytes:
-        if self.text is not None:
-            return self.text.encode("utf-8")
-        return (
-            json.dumps(self.payload, sort_keys=True, default=str) + "\n"
-        ).encode("utf-8")
+        if self._encoded is None:
+            if self.text is not None:
+                self._encoded = self.text.encode("utf-8")
+            else:
+                self._encoded = (
+                    json.dumps(self.payload, sort_keys=True, default=str) + "\n"
+                ).encode("utf-8")
+        return self._encoded
+
+
+class _RequestNote(threading.local):
+    """Per-thread attribution scratchpad for the request in flight.
+
+    The evaluation plumbing knows the pattern/store/pairs; the dispatch
+    loop owns timing and the single telemetry ingestion point.  A
+    thread-local bridges them without touching handler signatures on
+    the error unwind path.
+    """
+
+    store: str | None = None
+    pattern: str | None = None
+    pairs: int = 0
+    clamped: tuple[str, ...] = ()
+    query_id: str | None = None
+
+    def reset(self) -> None:
+        self.store = None
+        self.pattern = None
+        self.pairs = 0
+        self.clamped = ()
+        self.query_id = None
 
 
 def _error_response(
@@ -132,6 +179,17 @@ class QueryService:
             retry_after_s=self.config.retry_after_s,
             metrics=self.metrics,
         )
+        self.inflight = InflightRegistry()
+        self.live: WindowedAggregator | None = None
+        self.slo: SloEngine | None = None
+        if self.config.telemetry:
+            self.live = WindowedAggregator(
+                bucket_s=self.config.telemetry_bucket_s,
+                window_s=self.config.telemetry_window_s,
+                top_k=self.config.telemetry_top_k,
+            )
+            self.slo = SloEngine(self.config.slo_policy(), self.live)
+        self._note = _RequestNote()
         self._draining = threading.Event()
 
     # ------------------------------------------------------------------
@@ -159,17 +217,34 @@ class QueryService:
     def dispatch(
         self, method: str, path: str, body: bytes | None = None
     ) -> ServiceResponse:
-        """Route one request; never raises — errors become responses."""
+        """Route one request; never raises — errors become responses.
+
+        This is also the single telemetry ingestion point: every
+        response — success, mapped error, opaque 500 — flows through
+        :meth:`_observe` exactly once, so the windowed aggregator, the
+        ``service.*`` duration/size histograms and the access log can
+        never disagree about what happened.
+        """
+        started = time.perf_counter()
         method = method.upper()
+        path, _, query_string = path.partition("?")
+        params: dict[str, list[str]] = (
+            parse_qs(query_string) if query_string else {}
+        )
         headers = {
             "X-Query-Id": new_query_id(),
             "X-Trace-Id": new_trace_id(),
         }
+        note = self._note
+        note.reset()
+        killed = False
         try:
-            return self._route(method, path.rstrip("/") or "/", body, headers)
+            response = self._route(
+                method, path.rstrip("/") or "/", body, headers, params
+            )
         except ServiceError as error:
-            self._count_request(path, error.status)
-            return _error_response(error, headers=headers)
+            killed = error.partial_stats is not None
+            response = _error_response(error, headers=headers)
         except Exception as exc:  # noqa: BLE001 - the opaque-500 contract
             try:
                 error = map_exception(exc)
@@ -177,8 +252,10 @@ class QueryService:
                 error = ServiceError(
                     "internal server error", status=500, code="internal"
                 )
-            self._count_request(path, error.status)
-            return _error_response(error, headers=headers)
+            killed = error.partial_stats is not None
+            response = _error_response(error, headers=headers)
+        self._observe(method, path, response, started, killed=killed)
+        return response
 
     def _route(
         self,
@@ -186,6 +263,7 @@ class QueryService:
         path: str,
         body: bytes | None,
         headers: dict[str, str],
+        params: Mapping[str, list[str]],
     ) -> ServiceResponse:
         route: Callable[..., ServiceResponse] | None = None
         allowed: tuple[str, ...] = ()
@@ -197,6 +275,22 @@ class QueryService:
             route, allowed = self._get_version, ("GET",)
         elif path == "/metrics":
             route, allowed = self._get_metrics, ("GET",)
+        elif path == "/dashboard":
+            route, allowed = self._get_dashboard, ("GET",)
+        elif path == "/v1/admin/stats":
+            route, allowed = self._get_admin_stats, ("GET",)
+            args = (params,)
+        elif path == "/v1/admin/slo":
+            route, allowed = self._get_admin_slo, ("GET",)
+        elif path == "/v1/admin/inflight":
+            route, allowed = self._get_admin_inflight, ("GET",)
+        elif path.startswith("/v1/admin/inflight/"):
+            rest = path[len("/v1/admin/inflight/") :]
+            if rest and "/" not in rest:
+                route, allowed = self._delete_admin_inflight, ("DELETE",)
+                args = (rest,)
+        elif path == "/v1/admin/cache":
+            route, allowed = self._get_admin_cache, ("GET",)
         elif path == "/v1/logs":
             route, allowed = self._get_logs, ("GET",)
         elif path.startswith("/v1/logs/"):
@@ -233,10 +327,12 @@ class QueryService:
         response = route(*args)
         for name, value in headers.items():
             response.headers.setdefault(name, value)
-        self._count_request(path, response.status)
         return response
 
-    def _count_request(self, path: str, status: int) -> None:
+    @staticmethod
+    def _endpoint(path: str) -> str:
+        """Normalised endpoint label: path parameters become templates so
+        label cardinality stays bounded."""
         endpoint = path.rstrip("/") or "/"
         if endpoint.startswith("/v1/logs/"):
             endpoint = (
@@ -244,10 +340,66 @@ class QueryService:
                 if endpoint.endswith("/records")
                 else "/v1/logs/{name}/stats"
             )
+        elif endpoint.startswith("/v1/admin/inflight/"):
+            endpoint = "/v1/admin/inflight/{query_id}"
+        return endpoint
+
+    def _observe(
+        self,
+        method: str,
+        path: str,
+        response: ServiceResponse,
+        started: float,
+        *,
+        killed: bool,
+    ) -> None:
+        """Record one finished request everywhere it is observable."""
+        duration_s = time.perf_counter() - started
+        endpoint = self._endpoint(path)
+        status = response.status
+        note = self._note
         self.metrics.counter(
             "service.requests",
             labels={"endpoint": endpoint, "status": str(status)},
         ).inc()
+        self.metrics.histogram(
+            "service.request_seconds", labels={"endpoint": endpoint}
+        ).observe(duration_s)
+        self.metrics.histogram(
+            "service.response_bytes",
+            DEFAULT_SIZE_BUCKETS,
+            labels={"endpoint": endpoint},
+        ).observe(float(len(response.body())))
+        if self.live is not None:
+            self.live.observe_request(
+                endpoint,
+                status,
+                duration_s,
+                store=note.store,
+                pattern=note.pattern,
+                pairs=note.pairs,
+                killed=killed,
+            )
+        if self.config.access_log:
+            _ACCESS_LOG.info(
+                json.dumps(
+                    {
+                        "method": method,
+                        "path": path,
+                        "endpoint": endpoint,
+                        "status": status,
+                        "duration_ms": round(duration_s * 1000.0, 3),
+                        "bytes": len(response.body()),
+                        "query_id": note.query_id
+                        or response.headers.get("X-Query-Id"),
+                        "killed": killed,
+                        "shed": status == 429,
+                        "clamped": list(note.clamped),
+                        "store": note.store,
+                    },
+                    sort_keys=True,
+                )
+            )
 
     # ------------------------------------------------------------------
     # plumbing shared by the evaluation endpoints
@@ -271,7 +423,9 @@ class QueryService:
                 ) from None
             raise
 
-    def _engine_options(self, clamped: ClampedOptions) -> EngineOptions:
+    def _engine_options(
+        self, clamped: ClampedOptions, *, entry: InflightEntry | None = None
+    ) -> EngineOptions:
         return EngineOptions(
             engine=clamped.engine,
             optimize=clamped.optimize,
@@ -282,6 +436,7 @@ class QueryService:
             cache=self.cache if clamped.cache else None,
             deadline_ms=clamped.deadline_ms,
             max_pairs=clamped.max_pairs,
+            cancel=None if entry is None else entry.cancel,
         )
 
     def _begin(
@@ -320,17 +475,26 @@ class QueryService:
         op: str,
         clamped: ClampedOptions,
         headers: dict[str, str],
-        body: Callable[[], dict[str, Any]],
+        body: Callable[[InflightEntry], dict[str, Any]],
+        store: str | None = None,
     ) -> ServiceResponse:
-        """Run ``body`` under admission control, governor mapping and the
-        journal lifecycle; ``body`` returns the success payload."""
+        """Run ``body`` under admission control, governor mapping, the
+        inflight registry and the journal lifecycle; ``body`` receives
+        the request's :class:`InflightEntry` (its cancel token and the
+        engine-attachment hook) and returns the success payload."""
         self._check_draining()
         with self.admission.slot():
-            _, recorder = self._begin(
+            ctx, recorder = self._begin(
                 pattern=pattern, op=op, clamped=clamped, headers=headers
             )
+            note = self._note
+            note.pattern = pattern
+            note.store = store
+            note.clamped = clamped.clamped
+            note.query_id = ctx.query_id
+            entry = self.inflight.register(ctx, pattern=pattern, op=op, store=store)
             try:
-                payload = body()
+                payload = body(entry)
             except Exception as exc:  # noqa: BLE001 - mapped below
                 try:
                     error = map_exception(exc)
@@ -338,9 +502,14 @@ class QueryService:
                     error = ServiceError(
                         "internal server error", status=500, code="internal"
                     )
+                note.pairs = int(
+                    getattr(error.partial_stats, "pairs_examined", 0) or 0
+                )
                 if recorder is not None:
                     if error.partial_stats is not None:
-                        recorder.killed(exc)
+                        recorder.killed(
+                            exc, store=store, http_status=error.status
+                        )
                     else:
                         recorder.finish(
                             stats=None,
@@ -348,16 +517,21 @@ class QueryService:
                             status_override="error",
                             error=error.code,
                             http_status=error.status,
+                            store=store,
                         )
                 raise error from exc
+            finally:
+                self.inflight.remove(ctx.query_id)
+            stats_obj = payload.pop("_stats_obj", None)
+            note.pairs = int(getattr(stats_obj, "pairs_examined", 0) or 0)
             if recorder is not None:
                 recorder.finish(
-                    stats=payload.pop("_stats_obj", None),
+                    stats=stats_obj,
                     incidents=int(payload.get("count", 0) or 0),
                     endpoint=op,
+                    store=store,
+                    http_status=200,
                 )
-            else:
-                payload.pop("_stats_obj", None)
             if clamped.clamped:
                 payload["clamped"] = list(clamped.clamped)
             return ServiceResponse(200, payload=payload, headers=dict(headers))
@@ -387,6 +561,101 @@ class QueryService:
 
     def _get_logs(self) -> ServiceResponse:
         return ServiceResponse(200, payload={"logs": self.catalog.describe()})
+
+    # ------------------------------------------------------------------
+    # the admin plane (auth-free: bind to a trusted network only)
+    # ------------------------------------------------------------------
+    # Admin endpoints deliberately bypass admission control: when the
+    # worker pool is saturated is exactly when an operator needs to see
+    # in-flight queries and kill one.
+
+    def _require_live(self) -> WindowedAggregator:
+        if self.live is None:
+            raise not_found(
+                "telemetry is disabled on this server "
+                "(ServiceConfig.telemetry=False)"
+            )
+        return self.live
+
+    def _get_admin_stats(
+        self, params: Mapping[str, list[str]]
+    ) -> ServiceResponse:
+        live = self._require_live()
+        window = parse_window_param(
+            params,
+            default_s=min(300.0, self.config.telemetry_window_s),
+            max_s=self.config.telemetry_window_s,
+        )
+        payload = live.window(window).report()
+        payload["observed_total"] = live.observed
+        return ServiceResponse(200, payload=payload)
+
+    def _get_admin_slo(self) -> ServiceResponse:
+        self._require_live()
+        assert self.slo is not None  # established with self.live
+        return ServiceResponse(200, payload=self.slo.report())
+
+    def _get_admin_inflight(self) -> ServiceResponse:
+        rows = self.inflight.list()
+        return ServiceResponse(
+            200,
+            payload={
+                "count": len(rows),
+                "queries": rows,
+                "cancelled_total": self.inflight.cancelled_total,
+            },
+        )
+
+    def _delete_admin_inflight(self, query_id: str) -> ServiceResponse:
+        entry = self.inflight.request_cancel(
+            query_id, reason="killed by operator via DELETE /v1/admin/inflight"
+        )
+        if entry is None:
+            raise not_found(
+                f"no in-flight query {query_id!r}",
+                details={"inflight": [row["query_id"] for row in self.inflight.list()]},
+            )
+        self.metrics.counter("service.admin_cancellations").inc()
+        return ServiceResponse(
+            200,
+            payload={
+                "query_id": entry.query_id,
+                "trace_id": entry.trace_id,
+                "cancelled": True,
+                "cooperative": True,
+                "pattern": entry.pattern,
+                "op": entry.op,
+                "store": entry.store,
+                "elapsed_s": time.time() - entry.started_unix,
+                "pairs": entry.pairs_so_far(),
+            },
+        )
+
+    def _get_admin_cache(self) -> ServiceResponse:
+        stats = self.cache.stats()
+
+        def ratio(hits: int, misses: int) -> float:
+            total = hits + misses
+            return hits / total if total else 0.0
+
+        payload: dict[str, Any] = dict(stats)
+        payload["result_hit_ratio"] = ratio(
+            stats["result_hits"], stats["result_misses"]
+        )
+        payload["memo_hit_ratio"] = ratio(stats["memo_hits"], stats["memo_misses"])
+        payload["hottest"] = self.cache.hot_keys(limit=10)
+        payload["policy"] = {
+            "caches_results": self.cache.policy.caches_results,
+            "caches_memo": self.cache.policy.caches_memo,
+        }
+        return ServiceResponse(200, payload=payload)
+
+    def _get_dashboard(self) -> ServiceResponse:
+        from repro.service.dashboard import DASHBOARD_HTML
+
+        return ServiceResponse(
+            200, text=DASHBOARD_HTML, media_type="text/html; charset=utf-8"
+        )
 
     def _get_log_stats(self, name: str) -> ServiceResponse:
         from repro.logstore.stats import summarize
@@ -439,8 +708,9 @@ class QueryService:
         clamped = self.config.clamp(request.options)
         snapshot = self._snapshot(request.log)
 
-        def run() -> dict[str, Any]:
-            query = Query(request.pattern, self._engine_options(clamped))
+        def run(entry: InflightEntry) -> dict[str, Any]:
+            query = Query(request.pattern, self._engine_options(clamped, entry=entry))
+            entry.engine = query.engine
             payload: dict[str, Any] = {
                 "log": request.log,
                 "pattern": request.pattern,
@@ -477,6 +747,7 @@ class QueryService:
             clamped=clamped,
             headers=headers,
             body=run,
+            store=request.log,
         )
 
     def _post_batch(
@@ -486,7 +757,7 @@ class QueryService:
         clamped = self.config.clamp(request.options)
         snapshot = self._snapshot(request.log)
 
-        def run() -> dict[str, Any]:
+        def run(entry: InflightEntry) -> dict[str, Any]:
             outcome = Query.evaluate_batch(
                 snapshot,
                 list(request.patterns),
@@ -499,6 +770,7 @@ class QueryService:
                 cache=self.cache if clamped.cache else None,
                 deadline_ms=clamped.deadline_ms,
                 max_pairs=clamped.max_pairs,
+                cancel=entry.cancel,
             )
             results = []
             for text, incidents in zip(request.patterns, outcome.results):
@@ -535,6 +807,7 @@ class QueryService:
             clamped=clamped,
             headers=headers,
             body=run,
+            store=request.log,
         )
 
     def _post_lint(self, body: bytes | None) -> ServiceResponse:
@@ -562,8 +835,9 @@ class QueryService:
         clamped = self.config.clamp(request.options)
         snapshot = self._snapshot(request.log)
 
-        def run() -> dict[str, Any]:
-            query = Query(request.pattern, self._engine_options(clamped))
+        def run(entry: InflightEntry) -> dict[str, Any]:
+            query = Query(request.pattern, self._engine_options(clamped, entry=entry))
+            entry.engine = query.engine
             plan = query.plan(snapshot)
             return {
                 "log": request.log,
@@ -580,6 +854,7 @@ class QueryService:
             clamped=clamped,
             headers=headers,
             body=run,
+            store=request.log,
         )
 
     def _post_analyze(
@@ -591,7 +866,7 @@ class QueryService:
         request = parse_analyze_request(decode_json_body(body, what="analyze"))
         clamped = self.config.clamp({})
 
-        def run() -> dict[str, Any]:
+        def run(entry: InflightEntry) -> dict[str, Any]:
             prover = (
                 PatternProver(max_states=request.max_states)
                 if request.max_states is not None

@@ -34,6 +34,7 @@ __all__ = [
     "parse_explain_request",
     "parse_analyze_request",
     "parse_append_request",
+    "parse_window_param",
 ]
 
 #: What ``POST /v1/query`` may compute.
@@ -406,6 +407,65 @@ def parse_append_request(doc: Any) -> AppendRequest:
             )
     v.finish()
     return AppendRequest(records=tuple(records))
+
+
+def parse_window_param(
+    params: Mapping[str, Any] | None,
+    *,
+    default_s: float,
+    max_s: float,
+) -> float:
+    """Validate the admin plane's ``?window=<seconds>`` query parameter.
+
+    Accepts a positive number of seconds no larger than the telemetry
+    ring span; anything else gets the structured 400 with a diagnostic,
+    same contract as the body validators.
+    """
+    raw = None if params is None else params.get("window")
+    if raw is None:
+        return float(default_s)
+    if isinstance(raw, (list, tuple)):  # urllib parse_qs shape
+        raw = raw[-1] if raw else None
+    try:
+        window = float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise bad_request(
+            "invalid admin query parameters",
+            details={
+                "diagnostics": [
+                    _diagnostic(
+                        f"window must be a number of seconds, got {raw!r}",
+                        field_name="window",
+                    )
+                ]
+            },
+        ) from None
+    if not window > 0 or window != window:  # reject 0, negatives, NaN
+        raise bad_request(
+            "invalid admin query parameters",
+            details={
+                "diagnostics": [
+                    _diagnostic(
+                        f"window must be > 0 seconds, got {window!r}",
+                        field_name="window",
+                    )
+                ]
+            },
+        )
+    if window > max_s:
+        raise bad_request(
+            "invalid admin query parameters",
+            details={
+                "diagnostics": [
+                    _diagnostic(
+                        f"window must be <= the telemetry ring span "
+                        f"({max_s:g}s), got {window:g}",
+                        field_name="window",
+                    )
+                ]
+            },
+        )
+    return window
 
 
 def decode_json_body(body: bytes | None, *, what: str) -> Any:

@@ -128,6 +128,7 @@ class TestRegistry:
             "cache",
             "journal",
             "service",
+            "live",
         }
         assert "smoke" in registry.suites()
         # every smoke case is also a full case: full is the superset sweep

@@ -330,6 +330,81 @@ class TestViews:
             top_patterns(events, by="vibes")
 
 
+class TestConcurrentWriters:
+    """One journal, many writer threads, views reading mid-flight.
+
+    The journal's single lock must keep ``seq`` a gap-free monotonic
+    series, and the views must tolerate reading the in-memory event list
+    while it is still growing (they observe a prefix, never a torn
+    event)."""
+
+    WRITERS = 8
+    LIFECYCLES = 50
+
+    def _hammer(self, journal):
+        import threading
+
+        def write(worker: int) -> None:
+            for i in range(self.LIFECYCLES):
+                n = worker * self.LIFECYCLES + i
+                journal.emit(
+                    "submit", **_ids(n), pattern=f"P{worker}", op="run"
+                )
+                journal.write(
+                    _terminal(
+                        pattern=f"P{worker}",
+                        wall_ms=float(worker + 1),
+                        kind="finish" if i % 5 else "killed",
+                        n=n,
+                        pairs=worker,
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(self.WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        return threads
+
+    def test_views_are_safe_and_exact_under_concurrent_writes(self):
+        journal = QueryJournal()
+        threads = self._hammer(journal)
+        # read while writers are live: views must not raise, and every
+        # observed prefix is internally consistent (runs >= killed)
+        for _ in range(50):
+            for row in top_patterns(list(journal.events), by="wall_ms"):
+                assert row["runs"] >= row["killed"] >= 0
+            slow_queries(list(journal.events), threshold_ms=0.0)
+            filter_events(list(journal.events), kinds=["killed"])
+        for thread in threads:
+            thread.join()
+
+        events = journal.events
+        total = self.WRITERS * self.LIFECYCLES * 2
+        assert len(events) == total
+        assert [e["seq"] for e in events] == list(range(total))  # gap-free
+        assert validate_journal(events) == total
+        rows = top_patterns(events, by="runs", limit=self.WRITERS)
+        assert len(rows) == self.WRITERS
+        for row in rows:
+            assert row["runs"] == self.LIFECYCLES
+            assert row["killed"] == self.LIFECYCLES // 5
+        killed = filter_events(events, kinds=["killed"])
+        assert len(killed) == self.WRITERS * (self.LIFECYCLES // 5)
+
+    def test_file_sink_writes_parseable_lines_under_contention(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = QueryJournal(path)
+        for thread in self._hammer(journal):
+            thread.join()
+        journal.close()
+        events = read_journal(path, validate=True)
+        assert len(events) == self.WRITERS * self.LIFECYCLES * 2
+        # one monotonic seq series even though writers interleaved
+        assert sorted(e["seq"] for e in events) == [e["seq"] for e in events]
+
+
 class TestQueryLifecycle:
     def test_run_records_full_lifecycle(self, clinic_log):
         journal = QueryJournal()

@@ -53,6 +53,60 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", buckets=())
 
+    def test_quantile_interpolates_within_buckets(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0, 40.0))
+        for value in (5, 5, 15, 15, 15, 15, 30, 30, 30, 30):
+            histogram.observe(value)
+        # ranks: q*10 observations; bucket populations 2/4/4/0
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(0.2) == pytest.approx(10.0)
+        # rank 5 sits 3/4 through the (10, 20] bucket
+        assert histogram.quantile(0.5) == pytest.approx(17.5)
+        assert histogram.quantile(1.0) == pytest.approx(40.0)
+
+    def test_quantile_edge_cases(self):
+        empty = Histogram("h", buckets=(1.0, 2.0))
+        assert empty.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            empty.quantile(1.5)
+        overflow = Histogram("h", buckets=(1.0, 2.0))
+        overflow.observe(100.0)
+        # everything past the last boundary clamps to that boundary —
+        # the histogram cannot see further
+        assert overflow.quantile(0.99) == 2.0
+
+    def test_fraction_le_is_quantile_inverse(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0, 40.0))
+        for value in (5, 15, 15, 30):
+            histogram.observe(value)
+        assert histogram.fraction_le(10.0) == pytest.approx(0.25)
+        assert histogram.fraction_le(20.0) == pytest.approx(0.75)
+        assert histogram.fraction_le(15.0) == pytest.approx(0.5)  # interpolated
+        assert histogram.fraction_le(40.0) == 1.0
+        assert histogram.fraction_le(1000.0) == 1.0
+        assert Histogram("h", buckets=(1.0,)).fraction_le(0.5) == 1.0  # empty
+
+    def test_merge_requires_identical_boundaries(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.counts == [1, 1, 1]
+        assert a.sum == pytest.approx(11.0)
+        with pytest.raises(ValueError):
+            a.merge(Histogram("h", buckets=(1.0, 3.0)))
+
+    def test_reset_zeroes_everything(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.5)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.counts == [0, 0, 0]
+
 
 class TestRegistry:
     def test_same_name_returns_same_object(self):

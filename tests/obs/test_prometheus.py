@@ -34,6 +34,15 @@ def _known_registry() -> MetricsRegistry:
     histogram = registry.histogram("monitor.observe_seconds", buckets=(0.001, 0.01, 0.1))
     for value in (0.003, 0.02, 5.0):
         histogram.observe(value)
+    # a labelled histogram, the shape the service's per-route
+    # request-duration series uses: endpoint label + le on every bucket
+    labelled = registry.histogram(
+        "service.request_seconds",
+        buckets=(0.001, 0.01, 0.1),
+        labels={"endpoint": "/v1/query"},
+    )
+    for value in (0.002, 0.05):
+        labelled.observe(value)
     return registry
 
 
@@ -57,6 +66,14 @@ class TestExpositionRules:
         assert '_bucket{le="+Inf"} 3' in text
         assert "repro_monitor_observe_seconds_count 3" in text
         assert "repro_monitor_observe_seconds_sum 5.023" in text
+
+    def test_labelled_histogram_interleaves_le_with_its_labels(self):
+        text = _known_registry().to_prometheus()
+        assert (
+            'repro_service_request_seconds_bucket{endpoint="/v1/query",le="+Inf"} 2'
+            in text
+        )
+        assert 'repro_service_request_seconds_count{endpoint="/v1/query"} 2' in text
 
     def test_every_metric_has_a_type_line(self):
         text = _known_registry().to_prometheus()

@@ -78,6 +78,37 @@ def test_serve_round_trip_and_sigterm(tmp_path, clinic_file) -> None:
     assert any(event["event"] == "finish" for event in events)
 
 
+def test_serve_access_log_emits_structured_lines(clinic_file) -> None:
+    proc = _spawn(
+        [
+            "serve",
+            "--port", "0",
+            "--store", f"clinic={clinic_file}",
+            "--access-log",
+        ]
+    )
+    try:
+        announce = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:\d+", announce)
+        assert match, f"no announce line: {announce!r}"
+        url = match.group(0)
+        with urllib.request.urlopen(url + "/healthz", timeout=10) as response:
+            response.read()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=20)
+    stderr = proc.stderr.read()
+    lines = [
+        json.loads(line)
+        for line in stderr.splitlines()
+        if line.startswith("{")
+    ]
+    assert any(
+        line["endpoint"] == "/healthz" and line["status"] == 200
+        for line in lines
+    ), f"no /healthz access line in stderr: {stderr!r}"
+
+
 def test_serve_requires_a_catalog_source() -> None:
     proc = _spawn(["serve", "--port", "0"])
     _, stderr = proc.communicate(timeout=30)

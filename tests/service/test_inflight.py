@@ -1,0 +1,184 @@
+"""Acceptance: an in-flight query is visible to the admin plane and an
+operator ``DELETE`` kills it cooperatively over real sockets.
+
+The client sees the structured cancellation contract — 503
+``unavailable`` with the partial :class:`EvaluationStats` the governor
+detached at the kill checkpoint — and the journal records the ``killed``
+terminal event, so a post-hoc ``repro-logs slo`` replay counts the
+operator kill exactly like the live aggregator did.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.journal import QueryJournal
+from repro.service import QueryService, ServiceConfig, ServiceServer, StoreCatalog
+from repro.service.inflight import InflightRegistry
+from repro.workflow.engine import SimulationConfig, WorkflowEngine
+from repro.workflow.models import clinic_referral_workflow
+
+from .test_http import _request
+
+#: Slow enough to be caught in flight on any machine (~0.3s locally),
+#: fast enough not to drag the suite when the kill path fails.
+HEAVY_PATTERN = (
+    "(GetRefer | UpdateRefer) -> (CheckIn | CheckOut) -> "
+    "(SeeDoctor | Treatment) -> (CheckOut | GetReimburse)"
+)
+
+
+@pytest.fixture(scope="module")
+def big_log():
+    engine = WorkflowEngine(clinic_referral_workflow())
+    return engine.run(SimulationConfig(instances=3000, seed=7))
+
+
+@pytest.fixture()
+def server(big_log):
+    catalog = StoreCatalog()
+    catalog.add_log("clinic", big_log)
+    service = QueryService(
+        catalog, ServiceConfig(port=0), journal=QueryJournal(None)
+    )
+    with ServiceServer(service) as running:
+        yield running
+
+
+def _poll_inflight(url: str, *, deadline_s: float = 10.0) -> dict:
+    """Wait until the admin plane lists at least one in-flight query."""
+    waited = 0.0
+    while waited < deadline_s:
+        _, _, body = _request(url, "GET", "/v1/admin/inflight")
+        doc = json.loads(body)
+        if doc["count"]:
+            return doc
+        time.sleep(0.002)
+        waited += 0.002
+    raise AssertionError("query never appeared in /v1/admin/inflight")
+
+
+def test_admin_delete_kills_a_listed_query(server) -> None:
+    outcome: dict = {}
+
+    def client() -> None:
+        outcome["response"] = _request(
+            server.url,
+            "POST",
+            "/v1/query",
+            {
+                "log": "clinic",
+                "pattern": HEAVY_PATTERN,
+                "options": {"cache": False, "optimize": False},
+            },
+        )
+
+    thread = threading.Thread(target=client)
+    thread.start()
+    try:
+        listed = _poll_inflight(server.url)
+        (snapshot,) = listed["queries"]
+        assert snapshot["query_id"].startswith("q-")
+        assert snapshot["op"] == "http.query"
+        assert snapshot["store"] == "clinic"
+        assert snapshot["pattern"] == HEAVY_PATTERN
+        assert snapshot["elapsed_s"] >= 0.0
+        assert not snapshot["cancelling"]
+
+        status, _, body = _request(
+            server.url, "DELETE", "/v1/admin/inflight/" + snapshot["query_id"]
+        )
+        assert status == 200
+        contract = json.loads(body)
+        assert contract["cancelled"] is True
+        assert contract["cooperative"] is True
+        assert contract["query_id"] == snapshot["query_id"]
+        assert contract["trace_id"].startswith("t-")
+        assert contract["store"] == "clinic"
+    finally:
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+    # the client sees the structured cancellation: 503 unavailable with
+    # the reason and the partial stats the governor detached at the kill
+    status, _, body = outcome["response"]
+    assert status == 503
+    error = json.loads(body)["error"]
+    assert error["code"] == "unavailable"
+    assert "killed by operator" in error["message"]
+    assert error["partial_stats"]["pairs_examined"] >= 0
+
+    # the registry drained and counted the kill
+    _, _, body = _request(server.url, "GET", "/v1/admin/inflight")
+    doc = json.loads(body)
+    assert doc == {"count": 0, "queries": [], "cancelled_total": 1}
+
+    # a second DELETE of the same id is a clean 404, not a crash
+    status, _, _ = _request(
+        server.url, "DELETE", "/v1/admin/inflight/" + snapshot["query_id"]
+    )
+    assert status == 404
+
+    # the journal recorded the terminal killed event for the same query
+    events = server.service.journal.events
+    killed = [e for e in events if e["event"] == "killed"]
+    assert len(killed) == 1
+    assert killed[0]["query_id"] == snapshot["query_id"]
+    assert killed[0]["http_status"] == 503
+    assert killed[0]["store"] == "clinic"
+
+    # the kill burned availability budget in the live aggregator
+    _, _, body = _request(server.url, "GET", "/v1/admin/slo")
+    slo = json.loads(body)
+    assert "availability" in slo["breaching"]
+
+    # and the operator action is a counter in the exposition
+    _, _, body = _request(server.url, "GET", "/metrics")
+    assert b"repro_service_admin_cancellations 1" in body
+
+
+def test_completed_queries_leave_the_registry(server) -> None:
+    status, _, _ = _request(
+        server.url,
+        "POST",
+        "/v1/query",
+        {"log": "clinic", "pattern": "GetRefer -> CheckIn"},
+    )
+    assert status == 200
+    _, _, body = _request(server.url, "GET", "/v1/admin/inflight")
+    assert json.loads(body)["count"] == 0
+
+
+class TestRegistryUnit:
+    class _Ctx:
+        query_id = "q-1"
+        trace_id = "t-1"
+
+    def test_register_list_remove(self):
+        registry = InflightRegistry()
+        entry = registry.register(
+            self._Ctx(), pattern="A -> B", op="http.query", store="s"
+        )
+        assert len(registry) == 1
+        (row,) = registry.list()
+        assert row["query_id"] == "q-1"
+        assert row["pairs"] == 0  # no engine attached yet
+        registry.remove("q-1")
+        assert registry.list() == []
+        registry.remove("q-1")  # idempotent
+
+    def test_request_cancel_sets_token_with_reason(self):
+        registry = InflightRegistry()
+        entry = registry.register(self._Ctx(), pattern="A", op="http.query")
+        cancelled = registry.request_cancel("q-1", reason="operator")
+        assert cancelled is entry
+        assert entry.cancel.is_set()
+        assert entry.cancel.reason == "operator"
+        assert registry.cancelled_total == 1
+        (row,) = registry.list()
+        assert row["cancelling"]
+        assert registry.request_cancel("q-missing", reason="x") is None

@@ -207,6 +207,47 @@ class TestTopCommand:
         assert main(["top", "--journal", str(tmp_path / "no.jsonl")]) == 2
 
 
+class TestSloCommand:
+    def test_replays_journal_and_reports_breach(self, journal_file, capsys):
+        # one finish + one kill at the same instant: 50% bad outcomes
+        # against a 0.1% budget burns both windows -> breach, exit 1
+        code = main(["slo", "--journal", journal_file])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "replayed 2 terminal event(s)" in out
+        assert "breaching: availability" in out
+
+    def test_json_document_round_trips(self, journal_file, capsys):
+        main(["slo", "--journal", journal_file, "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["replayed"] == 2
+        assert doc["stats"]["requests"] == 2
+        assert doc["stats"]["killed"] == 1
+        names = {row["name"] for row in doc["slo"]["objectives"]}
+        assert names == {"availability", "latency"}
+        assert "availability" in doc["slo"]["breaching"]
+
+    def test_relaxed_target_passes_with_exit_0(self, journal_file, capsys):
+        code = main([
+            "slo", "--journal", journal_file,
+            "--availability-target", "0.4",  # budget 60% > 50% bad
+            "--latency-threshold-ms", "60000",
+        ])
+        assert code == 0
+        assert "within budget" in capsys.readouterr().out
+
+    def test_missing_journal_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["slo", "--journal", str(tmp_path / "no.jsonl")]) == 2
+
+    def test_journal_without_terminals_is_a_usage_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["slo", "--journal", str(path)]) == 2
+        assert "no terminal" in capsys.readouterr().err
+
+
 class TestBenchHistoryCommand:
     def _record_runs(self, tmp_path, runs: int) -> str:
         history = str(tmp_path / "hist.jsonl")
