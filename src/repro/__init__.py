@@ -32,6 +32,7 @@ from repro.core import (  # noqa: E402
     ENGINES,
     START,
     Atomic,
+    Backend,
     BudgetExceededError,
     Choice,
     Consecutive,
@@ -44,6 +45,7 @@ from repro.core import (  # noqa: E402
     Log,
     LogRecord,
     LogValidationError,
+    LogView,
     OptimizerError,
     Parallel,
     Pattern,
@@ -69,6 +71,7 @@ from repro.analysis import (  # noqa: E402
     verify_rules,
 )
 from repro.cache import CachePolicy, QueryCache  # noqa: E402
+from repro.columnar import ColumnarLog, as_columnar  # noqa: E402
 from repro.logstore.store import LogStore  # noqa: E402
 
 __version__ = "1.0.0"
@@ -77,6 +80,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "EngineOptions",
+    "Backend",
+    "LogView",
+    "ColumnarLog",
+    "as_columnar",
     "CachePolicy",
     "QueryCache",
     "LogStore",

@@ -20,6 +20,12 @@ honestly so the benchmark comparison is fair:
 Attribute maps are not loaded — the pure temporal fragment needs only the
 activity/position columns, and this matches the paper's observation that
 an ETL pipeline extracts a *projection* decided up front.
+
+This module remains the *benchmark baseline* (denormalised text schema,
+honest ETL cost).  The production SQL route is the pushdown backend in
+:mod:`repro.columnar.sqlite` (``backend="sqlite"``): same compiler
+skeleton, but over interned integer columns mirroring the columnar
+layout, with the warehouse cached per columnar view.
 """
 
 from __future__ import annotations
@@ -207,8 +213,8 @@ class SqlBaseline(Engine):
 
     name = "sql"
 
-    def __init__(self, *, max_incidents: int | None = None):
-        super().__init__(max_incidents=max_incidents)
+    def __init__(self, *, max_incidents: int | None = None, **kwargs):
+        super().__init__(max_incidents=max_incidents, **kwargs)
         self._cache: tuple[int, SqlWarehouse] | None = None
 
     def _warehouse(self, log: Log) -> SqlWarehouse:

@@ -151,6 +151,13 @@ class QueryCache:
         this is exact and O(1).  Other logs use the (cached) content
         fingerprint, which is always sound but costs one pass on first
         use per :class:`Log` instance.
+
+        The identity is duck-typed on the provenance surface of
+        :class:`~repro.core.view.LogView` (``lineage``/``epoch`` plus
+        ``is_snapshot``/``fingerprint``), so a
+        :class:`~repro.columnar.ColumnarLog` — which delegates all four
+        to its source log — keys identically to that source: warm
+        entries are shared across representations.
         """
         if log.lineage is not None and getattr(log, "is_snapshot", True):
             return ("lineage", log.lineage, str(log.epoch))

@@ -66,6 +66,7 @@ from pathlib import Path
 
 from repro.analytics.anomaly import clinic_rules, loan_rules, order_rules
 from repro.cache import CachePolicy, QueryCache
+from repro.core.backend import Backend
 from repro.core.errors import QueryGovernorError, ReproError
 from repro.core.lint import Linter, Severity, format_diagnostics
 from repro.core.model import Log
@@ -186,7 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--log", required=True, help="log file (.jsonl/.csv/.xes)")
     query.add_argument("--pattern", required=True, help='e.g. "A -> (B | C)"')
     query.add_argument(
-        "--engine", choices=sorted(ENGINES), default="indexed", help="engine"
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="engine (default: indexed; --backend sqlite implies sqlite)",
     )
     query.add_argument(
         "--no-optimize", action="store_true", help="skip the query optimizer"
@@ -239,9 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--backend",
-        choices=("auto", "serial", "thread", "process"),
+        choices=tuple(b.value for b in Backend.requestable()),
         default=None,
-        help="parallel execution backend (implies --jobs; default auto)",
+        help="execution backend: a sharded-executor backend (implies "
+        "--jobs; default auto) or 'sqlite' to compile the pattern to SQL "
+        "over the columnar schema",
     )
     query.add_argument(
         "--progress",
@@ -569,7 +575,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=tuple(
+            b.value for b in Backend.executor() if b is not Backend.AUTO
+        ),
         default="process",
         help="backend used when --jobs > 1",
     )
@@ -1025,8 +1033,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             json.dumps(document, indent=2, ensure_ascii=False, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        summary_path: Path | None = None
         if args.history != "-":
             append_history(document, args.history)
+            # per-suite summary (BENCH_<suite>.json) next to the history
+            # file: the latest full document for this suite, so the perf
+            # trajectory per suite is tracked without replaying the
+            # whole history (ROADMAP tier-1 workflow)
+            summary_path = Path(args.history).parent / f"BENCH_{suite_name}.json"
+            summary_path.write_text(
+                json.dumps(
+                    document, indent=2, ensure_ascii=False, sort_keys=True
+                )
+                + "\n",
+                encoding="utf-8",
+            )
         for case in document["cases"]:
             stats = case["stats"]
             print(
@@ -1037,6 +1058,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"--- suite {suite_name!r}: {len(document['cases'])} case(s) -> {out}"
             + ("" if args.history == "-" else f", history -> {args.history}")
+            + ("" if summary_path is None else f", summary -> {summary_path}")
             + " ---"
         )
         return 0

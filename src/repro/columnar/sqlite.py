@@ -1,0 +1,278 @@
+"""SQL pushdown backend over the columnar schema (``backend="sqlite"``).
+
+:mod:`repro.baselines.sql` implements the paper's Figure 1 strawman — an
+ETL warehouse with one denormalised text table.  This module promotes
+the idea into a first-class backend: patterns compile to self-join SQL
+over a schema that *mirrors the columnar layout* of
+:class:`~repro.columnar.ColumnarLog`, so the database joins interned
+integers instead of comparing activity strings:
+
+* ``records(row, lsn, wid_id, is_lsn, act_id)`` — the four integer
+  columns, bulk-loaded straight from the columnar arrays;
+* ``activities(act_id, name)`` / ``instances(wid_id, wid)`` — the
+  interning dictionaries, used only to decode results and to resolve
+  leaf names at compile time (an unknown activity never reaches SQL).
+
+The compiler is the same operator-to-predicate mapping as the baseline
+(one alias per leaf; scalar ``MIN``/``MAX`` over subtree positions for
+``first``/``last``; ``⊗`` expanded branch-wise through
+:func:`~repro.core.algebra.choice_normal_form`), emitting integer
+``act_id`` comparisons.  Attribute-guarded leaves cannot be compiled —
+the pushed-down projection has no attribute maps — and raise
+:class:`~repro.core.errors.EvaluationError`; the auto dispatch therefore
+never selects this backend, it must be requested
+(``backend=Backend.SQLITE``).
+
+Incident identity is reconstructed from the selected per-leaf ``lsn``
+values, so results are byte-for-byte identical to the object engines.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.columnar.column_log import ColumnarLog, as_columnar
+from repro.core.algebra import choice_normal_form
+from repro.core.errors import EvaluationError
+from repro.core.eval.base import Engine
+from repro.core.incident import Incident, IncidentSet
+from repro.core.model import Log
+from repro.core.pattern import (
+    Atomic,
+    BinaryPattern,
+    Consecutive,
+    Parallel,
+    Pattern,
+    Sequential,
+)
+
+__all__ = ["ColumnarWarehouse", "SqliteEngine", "compile_columnar_sql"]
+
+
+class ColumnarWarehouse:
+    """A columnar log bulk-loaded into SQLite (see module docs)."""
+
+    def __init__(self, columnar: ColumnarLog):
+        self.columnar = columnar
+        self.connection = sqlite3.connect(":memory:")
+        script = """
+            CREATE TABLE records (
+                row    INTEGER PRIMARY KEY,
+                lsn    INTEGER NOT NULL,
+                wid_id INTEGER NOT NULL,
+                is_lsn INTEGER NOT NULL,
+                act_id INTEGER NOT NULL
+            );
+            CREATE TABLE activities (
+                act_id INTEGER PRIMARY KEY,
+                name   TEXT NOT NULL
+            );
+            CREATE TABLE instances (
+                wid_id INTEGER PRIMARY KEY,
+                wid    INTEGER NOT NULL
+            );
+            CREATE INDEX idx_wid_act ON records (wid_id, act_id, is_lsn);
+            CREATE UNIQUE INDEX idx_wid_pos ON records (wid_id, is_lsn);
+        """
+        self.connection.executescript(script)
+        n = len(columnar)
+        self.connection.executemany(
+            "INSERT INTO records VALUES (?, ?, ?, ?, ?)",
+            zip(
+                range(n),
+                columnar._lsn,
+                columnar._wid_id,
+                columnar._is_lsn,
+                columnar._act_id,
+            ),
+        )
+        self.connection.executemany(
+            "INSERT INTO activities VALUES (?, ?)",
+            enumerate(columnar.act_names),
+        )
+        self.connection.executemany(
+            "INSERT INTO instances VALUES (?, ?)",
+            enumerate(columnar.wids),
+        )
+        self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "ColumnarWarehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- query execution -----------------------------------------------------
+
+    def branch_queries(self, pattern: Pattern) -> list[str]:
+        """One integer-predicate SELECT per choice-free branch."""
+        return compile_columnar_sql(pattern, self.columnar)
+
+    def incidents(self, pattern: Pattern) -> IncidentSet:
+        """Evaluate ``pattern`` through SQL and return its incident set."""
+        found: set[frozenset[int]] = set()
+        for sql in self.branch_queries(pattern):
+            for row in self.connection.execute(sql):
+                found.add(frozenset(row))
+        record = self.columnar.record
+        return IncidentSet(
+            Incident(record(lsn) for lsn in lsns) for lsns in found
+        )
+
+    def exists(self, pattern: Pattern) -> bool:
+        """EXISTS-style evaluation with LIMIT 1 per branch."""
+        for sql in self.branch_queries(pattern):
+            cursor = self.connection.execute(f"{sql} LIMIT 1")
+            if cursor.fetchone() is not None:
+                return True
+        return False
+
+
+def _scalar_min(columns: list[str]) -> str:
+    return columns[0] if len(columns) == 1 else f"MIN({', '.join(columns)})"
+
+
+def _scalar_max(columns: list[str]) -> str:
+    return columns[0] if len(columns) == 1 else f"MAX({', '.join(columns)})"
+
+
+def _compile_branch(pattern: Pattern, columnar: ColumnarLog) -> str:
+    """One choice-free branch → one self-join SELECT over interned ids."""
+    aliases: list[str] = []
+    predicates: list[str] = []
+
+    def leaf_positions(node: Pattern) -> list[str]:
+        """Compile ``node``; returns the is-lsn column list of its leaves."""
+        if isinstance(node, Atomic):
+            if type(node) is not Atomic:
+                # attribute-guarded leaves need the attribute maps, which
+                # the pushed-down projection deliberately omits
+                raise EvaluationError(
+                    "the sqlite pushdown schema has no attribute maps; "
+                    f"cannot compile leaf {node!r} — use an in-process engine"
+                )
+            alias = f"r{len(aliases)}"
+            aliases.append(alias)
+            act_id = columnar.act_id_of(node.name)
+            if act_id is None:
+                if not node.negated:
+                    # positive leaf on an activity absent from the log:
+                    # the branch is unsatisfiable
+                    predicates.append("0 = 1")
+                # negated leaf on an absent activity matches every record —
+                # no activity predicate at all
+            else:
+                comparison = "!=" if node.negated else "="
+                predicates.append(f"{alias}.act_id {comparison} {act_id}")
+            if aliases[0] != alias:
+                predicates.append(f"{alias}.wid_id = {aliases[0]}.wid_id")
+            return [f"{alias}.is_lsn"]
+        assert isinstance(node, BinaryPattern)
+        left_columns = leaf_positions(node.left)
+        right_columns = leaf_positions(node.right)
+        if isinstance(node, Consecutive):
+            predicates.append(
+                f"{_scalar_max(left_columns)} + 1 = {_scalar_min(right_columns)}"
+            )
+        elif isinstance(node, Sequential):
+            predicates.append(
+                f"{_scalar_max(left_columns)} < {_scalar_min(right_columns)}"
+            )
+            window = getattr(node, "bound", None)
+            if window is not None:
+                predicates.append(
+                    f"{_scalar_min(right_columns)} <= "
+                    f"{_scalar_max(left_columns)} + {int(window)}"
+                )
+        elif isinstance(node, Parallel):
+            for left_column in left_columns:
+                for right_column in right_columns:
+                    predicates.append(f"{left_column} != {right_column}")
+        else:  # pragma: no cover - choices were expanded away
+            raise EvaluationError("unexpected choice in a compiled branch")
+        return left_columns + right_columns
+
+    leaf_positions(pattern)
+    sql = (
+        "SELECT "
+        + ", ".join(f"{alias}.lsn" for alias in aliases)
+        + " FROM "
+        + ", ".join(f"records {alias}" for alias in aliases)
+    )
+    if predicates:
+        sql += " WHERE " + " AND ".join(predicates)
+    return sql
+
+
+def compile_columnar_sql(pattern: Pattern, columnar: ColumnarLog) -> list[str]:
+    """Compile ``pattern`` into one SELECT per choice-free branch, with
+    activity names resolved to interned ``act_id`` integers up front.
+
+    Each result row is one incident: the ``lsn`` matched by each leaf.
+    Rows may repeat record sets across branches — the caller deduplicates,
+    as ``incL`` is a set.
+    """
+    return [
+        _compile_branch(branch, columnar)
+        for branch in choice_normal_form(pattern)
+    ]
+
+
+class SqliteEngine(Engine):
+    """Engine facade over :class:`ColumnarWarehouse` — the engine behind
+    ``backend=Backend.SQLITE``.
+
+    The warehouse is cached per columnar view, so repeated queries over
+    one log pay the bulk load once; the columnar view itself is cached on
+    the log, making the cache key stable across queries.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._cache: tuple[ColumnarLog, ColumnarWarehouse] | None = None
+
+    def _warehouse(self, columnar: ColumnarLog) -> ColumnarWarehouse:
+        cache = self._cache
+        if cache is not None and cache[0] is columnar:
+            return cache[1]
+        if cache is not None:
+            cache[1].close()
+        warehouse = ColumnarWarehouse(columnar)
+        self._cache = (columnar, warehouse)
+        return warehouse
+
+    def evaluate(self, log: "Log | ColumnarLog", pattern: Pattern) -> IncidentSet:
+        columnar = as_columnar(log)
+        stats = self._new_stats()
+        with self.tracer.span(
+            "evaluate", key=(), engine=self.name, pattern=str(pattern)
+        ):
+            warehouse = self._warehouse(columnar)
+            found: set[frozenset[int]] = set()
+            for branch, sql in enumerate(warehouse.branch_queries(pattern)):
+                self._checkpoint(stats)
+                with self.tracer.span("branch", key=branch, sql=sql):
+                    for row in warehouse.connection.execute(sql):
+                        found.add(frozenset(row))
+            record = columnar.record
+            result = IncidentSet(
+                Incident(record(lsn) for lsn in lsns) for lsns in found
+            )
+            self._check_budget(len(result))
+            stats.note_live(len(result))
+            stats.incidents_produced += len(result)
+        self._finish(stats)
+        return result
+
+    def exists(self, log: "Log | ColumnarLog", pattern: Pattern) -> bool:
+        columnar = as_columnar(log)
+        stats = self._new_stats()
+        self._checkpoint(stats)
+        hit = self._warehouse(columnar).exists(pattern)
+        self._finish(stats)
+        return hit

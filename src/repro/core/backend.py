@@ -1,0 +1,97 @@
+"""The :class:`Backend` enumeration — one typed home for the execution
+backend names that used to float around as bare strings in
+:class:`~repro.core.options.EngineOptions`,
+:class:`~repro.exec.parallel.ParallelExecutor`, the CLI and the service
+schemas.
+
+``Backend`` is a :class:`str` subclass (the pre-3.11 spelling of
+``enum.StrEnum``), so every existing comparison, dict lookup, format
+string and JSON serialisation keeps working with the member in place of
+the raw string — ``Backend.PROCESS == "process"``,
+``{"process": ...}[Backend.PROCESS]`` and ``json.dumps`` all behave as
+before.  Old string values therefore remain valid everywhere; they are
+coerced to members at the API boundary by :meth:`Backend.coerce`, which
+is also where unknown names fail with an error listing the valid
+members.
+
+Not every member is meaningful in every position:
+
+* ``AUTO``/``SERIAL``/``THREAD``/``PROCESS`` — the sharded-executor
+  backends (:data:`Backend.executor`);
+* ``SQLITE`` — the SQL pushdown backend: evaluation is compiled to SQL
+  over the columnar schema (:mod:`repro.columnar.sqlite`) instead of
+  being sharded, so it is *requestable* on
+  :class:`~repro.core.options.EngineOptions` but rejected by the
+  executor;
+* ``CACHE`` — a reporting label only (a warm result-cache hit short-cuts
+  the fan-out and the outcome says so); it is never requestable.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.core.errors import ReproError
+
+__all__ = ["Backend"]
+
+
+class Backend(str, Enum):
+    """Execution backend of one query evaluation (see module docs)."""
+
+    #: Let the dispatch cost model pick between serial and process.
+    AUTO = "auto"
+    #: Evaluate in the calling thread (one shard, no pool).
+    SERIAL = "serial"
+    #: Thread-pool fan-out (GIL-bound; useful for I/O-heavy engines).
+    THREAD = "thread"
+    #: Process-pool fan-out (true CPU parallelism, pays pickling).
+    PROCESS = "process"
+    #: Served from the result cache — reporting label, never requestable.
+    CACHE = "cache"
+    #: SQL pushdown: compile the pattern to SQL over the columnar schema.
+    SQLITE = "sqlite"
+
+    # str-mixin behaviour, matching enum.StrEnum (python >= 3.11) so the
+    # members format/print as their plain values on 3.10 too
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @classmethod
+    def requestable(cls) -> tuple["Backend", ...]:
+        """Members a caller may ask for (everything except ``CACHE``)."""
+        return (cls.AUTO, cls.SERIAL, cls.THREAD, cls.PROCESS, cls.SQLITE)
+
+    @classmethod
+    def executor(cls) -> tuple["Backend", ...]:
+        """Members the sharded parallel executor accepts."""
+        return (cls.AUTO, cls.SERIAL, cls.THREAD, cls.PROCESS)
+
+    @classmethod
+    def coerce(
+        cls,
+        value: "Backend | str",
+        *,
+        allow: Iterable["Backend"] | None = None,
+        where: str = "backend",
+    ) -> "Backend":
+        """``value`` as a :class:`Backend` member.
+
+        Accepts members and their string values (the legacy spelling).
+        ``allow`` restricts the valid members for this position (e.g.
+        :meth:`executor` inside the parallel executor); the default is
+        :meth:`requestable`.  Unknown or disallowed values raise
+        :class:`~repro.core.errors.ReproError` naming the valid members.
+        """
+        allowed = tuple(allow) if allow is not None else cls.requestable()
+        try:
+            member = value if isinstance(value, cls) else cls(value)
+        except ValueError:
+            member = None
+        if member is None or member not in allowed:
+            raise ReproError(
+                f"unknown {where} {str(value)!r}; "
+                f"available: {tuple(m.value for m in allowed)}"
+            )
+        return member

@@ -1,6 +1,6 @@
 """Evaluation engines for incident-pattern queries.
 
-Two engines share one semantics (Definition 4):
+Three in-process engines share one semantics (Definition 4):
 
 * :class:`~repro.core.eval.naive.NaiveEngine` — a faithful implementation
   of the paper's Algorithms 1-3 (pairwise nested-loop operator evaluation,
@@ -8,9 +8,14 @@ Two engines share one semantics (Definition 4):
 * :class:`~repro.core.eval.indexed.IndexedEngine` — an optimized engine
   with sorted incident lists, binary-search joins for the sequential
   operator and hash joins for the consecutive operator.
+* :class:`~repro.core.eval.vectorized.VectorizedEngine` — the indexed
+  engine's join algorithms evaluated set-at-a-time over the columnar log
+  core (:mod:`repro.columnar`), with position-tuple intermediates.
 
-Both satisfy the :class:`~repro.core.eval.base.Engine` interface; tests
-differential-check them against the Definition 4 oracle in
+(A fourth, the SQL pushdown :class:`~repro.columnar.SqliteEngine`, lives
+with its schema in :mod:`repro.columnar`.)  All satisfy the
+:class:`~repro.core.eval.base.Engine` interface; tests differential-check
+them against the Definition 4 oracle in
 :func:`repro.core.incident.reference_incidents`.
 """
 
@@ -20,12 +25,14 @@ from repro.core.eval.incremental import IncrementalEvaluator
 from repro.core.eval.naive import NaiveEngine
 from repro.core.eval.indexed import IndexedEngine
 from repro.core.eval.tree import IncidentTreeNode, build_incident_tree, render_tree
+from repro.core.eval.vectorized import VectorizedEngine
 
 __all__ = [
     "Engine",
     "EvaluationStats",
     "NaiveEngine",
     "IndexedEngine",
+    "VectorizedEngine",
     "IncrementalEvaluator",
     "count_incidents",
     "supports_counting",

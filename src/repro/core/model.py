@@ -24,9 +24,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import LogValidationError
+from repro.core.view import ActivitySet, RecordsView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columnar.column_log import ColumnarLog
 
 __all__ = [
     "START",
@@ -264,7 +268,13 @@ class Log:
         "_lineage",
         "_is_snapshot",
         "_fingerprint",
+        "_records_view",
+        "_columnar",
     )
+
+    #: Slots that are derived caches, rebuilt lazily — excluded from
+    #: pickling so shard logs shipped to process workers stay lean.
+    _TRANSIENT_SLOTS = ("_records_view", "_columnar")
 
     def __init__(
         self,
@@ -281,6 +291,8 @@ class Log:
         self._lineage = lineage
         self._is_snapshot = snapshot
         self._fingerprint: str | None = None
+        self._records_view: RecordsView | None = None
+        self._columnar: "ColumnarLog | None" = None
         if validate:
             _validate_records(self._records)
         by_wid: dict[int, list[LogRecord]] = {}
@@ -418,9 +430,20 @@ class Log:
     # -- views ---------------------------------------------------------------
 
     @property
-    def records(self) -> tuple[LogRecord, ...]:
-        """All records in ascending ``lsn`` order."""
-        return self._records
+    def records(self) -> RecordsView:
+        """All records in ascending ``lsn`` order.
+
+        Returned as a :class:`~repro.core.view.RecordsView` — an immutable
+        :class:`tuple` subclass that is also callable (returning itself), so
+        both the legacy attribute style ``log.records`` and the
+        :class:`~repro.core.view.LogView` protocol's ``log.records()`` work.
+        The historical list-mutation surface raises with a
+        :class:`DeprecationWarning`.
+        """
+        view = self._records_view
+        if view is None:
+            view = self._records_view = RecordsView(self._records)
+        return view
 
     @property
     def wids(self) -> tuple[int, ...]:
@@ -428,9 +451,9 @@ class Log:
         return tuple(sorted(self._by_wid))
 
     @property
-    def activities(self) -> frozenset[str]:
-        """The set of activity names occurring in the log."""
-        return frozenset(self._by_activity)
+    def activities(self) -> ActivitySet:
+        """The set of activity names occurring in the log (callable view)."""
+        return ActivitySet(self._by_activity)
 
     # -- provenance (cache invalidation, see repro.cache) -------------------
 
@@ -493,6 +516,23 @@ class Log:
         """All records of workflow instance ``wid_value`` in is-lsn order."""
         return self._by_wid.get(wid_value, ())
 
+    def wid_slice(self, wid_value: int) -> tuple[LogRecord, ...]:
+        """:class:`~repro.core.view.LogView` name for :meth:`instance`."""
+        return self._by_wid.get(wid_value, ())
+
+    def columnar(self) -> "ColumnarLog":
+        """The cached columnar representation of this log.
+
+        Built on first use and kept for the lifetime of the log (logs are
+        immutable, so the columnar form never goes stale).  Excluded from
+        pickling — see ``_TRANSIENT_SLOTS``.
+        """
+        if self._columnar is None:
+            from repro.columnar.column_log import ColumnarLog
+
+            self._columnar = ColumnarLog.from_log(self)
+        return self._columnar
+
     def with_activity(self, activity: str) -> tuple[LogRecord, ...]:
         """All records with the given activity name, in lsn order.
 
@@ -546,6 +586,24 @@ class Log:
     def validate(self) -> None:
         """Re-run the Definition 2 well-formedness checks."""
         _validate_records(self._records)
+
+    # -- pickling ------------------------------------------------------------
+    # Slotted classes pickle via per-slot state; the derived caches in
+    # _TRANSIENT_SLOTS are dropped so shard logs shipped to process-pool
+    # workers do not also ship a columnar copy of themselves.
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in self._TRANSIENT_SLOTS
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for slot in self._TRANSIENT_SLOTS:
+            object.__setattr__(self, slot, None)
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
 
 
 def _validate_records(records: Sequence[LogRecord]) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.core.backend import Backend
 from repro.core.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,8 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["EngineOptions", "BACKENDS"]
 
-#: Execution backends accepted by :attr:`EngineOptions.backend`.
-BACKENDS: tuple[str, ...] = ("auto", "serial", "thread", "process")
+#: Execution backends accepted by :attr:`EngineOptions.backend` — the
+#: string values of :meth:`repro.core.backend.Backend.requestable`.
+#: Kept as a plain string tuple for backwards compatibility; prefer the
+#: :class:`~repro.core.backend.Backend` members.
+BACKENDS: tuple[str, ...] = tuple(m.value for m in Backend.requestable())
 
 
 @dataclass(frozen=True)
@@ -63,9 +67,13 @@ class EngineOptions:
         Worker count for sharded parallel evaluation; None keeps the
         query serial unless ``backend`` is set (then one worker per CPU).
     backend:
-        Parallel execution backend — one of :data:`BACKENDS`; None means
-        serial evaluation (``"auto"`` when only ``jobs`` is given).
-        Replaces the legacy ``parallel=`` keyword.
+        Execution backend — a :class:`~repro.core.backend.Backend` member
+        or its string value (one of :data:`BACKENDS`); None means serial
+        evaluation (``"auto"`` when only ``jobs`` is given).  The
+        sharded-executor members fan evaluation out over wid shards;
+        ``Backend.SQLITE`` pushes the pattern down to SQL over the
+        columnar schema instead.  Replaces the legacy ``parallel=``
+        keyword; strings are coerced to members at construction.
     strategy:
         Shard-partitioning strategy for parallel runs (``"hash"`` or
         ``"range"``).
@@ -105,7 +113,7 @@ class EngineOptions:
     tracer: "Tracer | None" = field(default=None, compare=False)
     metrics: "MetricsRegistry | None" = field(default=None, compare=False)
     jobs: int | None = None
-    backend: str | None = None
+    backend: "Backend | str | None" = None
     strategy: str = "hash"
     progress: Callable[[int, int], None] | None = field(
         default=None, compare=False
@@ -117,10 +125,19 @@ class EngineOptions:
     cancel: "CancelToken | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        if self.backend is not None and self.backend not in BACKENDS:
-            raise ReproError(
-                f"unknown backend {self.backend!r}; available: {BACKENDS}"
-            )
+        if self.backend is not None:
+            object.__setattr__(self, "backend", Backend.coerce(self.backend))
+        if self.backend is Backend.SQLITE:
+            if self.engine is not None and self.engine != "sqlite":
+                raise ReproError(
+                    f"backend='sqlite' selects the SQL pushdown engine; "
+                    f"it cannot be combined with engine={self.engine!r}"
+                )
+            if self.jobs is not None:
+                raise ReproError(
+                    "backend='sqlite' evaluates in-database; "
+                    "it cannot be combined with jobs"
+                )
         if self.jobs is not None and self.jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {self.jobs}")
         if self.strategy not in ("hash", "range"):
@@ -141,7 +158,10 @@ class EngineOptions:
     @property
     def is_parallel(self) -> bool:
         """Whether these options route evaluation through the sharded
-        parallel executor."""
+        parallel executor.  ``Backend.SQLITE`` is *not* parallel — it
+        pushes evaluation into the database instead of sharding."""
+        if self.backend is Backend.SQLITE:
+            return False
         return self.jobs is not None or self.backend is not None
 
     def replace(self, **changes: Any) -> "EngineOptions":

@@ -27,11 +27,13 @@ from __future__ import annotations
 import warnings
 from typing import Any
 
+from repro.core.backend import Backend
 from repro.core.errors import QueryGovernorError, ReproError
 from repro.core.eval.base import Engine
 from repro.core.eval.indexed import IndexedEngine
 from repro.core.eval.naive import NaiveEngine
 from repro.core.eval.tree import render_tree
+from repro.core.eval.vectorized import VectorizedEngine
 from repro.core.governor import QueryContext, ResourceGovernor
 from repro.core.incident import IncidentSet
 from repro.core.model import Log
@@ -39,6 +41,7 @@ from repro.core.optimizer.planner import OptimizedPlan, Optimizer
 from repro.core.options import EngineOptions
 from repro.core.parser import parse
 from repro.core.pattern import Pattern
+from repro.columnar.sqlite import SqliteEngine
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["Query", "ENGINES"]
@@ -47,6 +50,8 @@ __all__ = ["Query", "ENGINES"]
 ENGINES: dict[str, type[Engine]] = {
     NaiveEngine.name: NaiveEngine,
     IndexedEngine.name: IndexedEngine,
+    VectorizedEngine.name: VectorizedEngine,
+    SqliteEngine.name: SqliteEngine,
 }
 
 #: Sentinel distinguishing "not passed" from an explicit None.
@@ -186,6 +191,14 @@ class Query:
 
     def _build_engine(self) -> Engine:
         opts = self.options
+        if opts.backend is Backend.SQLITE:
+            # the SQL pushdown backend *is* an engine: patterns compile to
+            # SQL over the columnar schema, so there is nothing to shard
+            return SqliteEngine(
+                max_incidents=opts.max_incidents,
+                tracer=opts.tracer,
+                metrics=opts.metrics,
+            )
         if (
             self.cache is not None
             and self.cache.policy.caches_memo

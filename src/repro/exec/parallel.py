@@ -34,6 +34,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.backend import Backend
 from repro.core.errors import QueryGovernorError
 from repro.core.eval.base import Engine, EvaluationStats
 from repro.core.governor import CancelToken, QueryContext
@@ -103,9 +104,13 @@ class ParallelExecutor:
     jobs:
         Worker count; defaults to the CPU count.
     backend:
-        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"`` (default).
-        Auto consults the dispatch cost model per query and stays serial
-        for plans too cheap to amortise a pool.
+        A :class:`~repro.core.backend.Backend` member or string value —
+        one of :meth:`Backend.executor() <repro.core.backend.Backend.executor>`
+        (``"auto"`` default).  Auto consults the dispatch cost model per
+        query and stays serial for plans too cheap to amortise a pool.
+        ``Backend.SQLITE`` is rejected here: SQL pushdown evaluates
+        in-database and never shards (route it through
+        :class:`~repro.core.query.Query` instead).
     strategy:
         Shard-partitioning strategy, ``"hash"`` (default) or ``"range"``.
     engine:
@@ -156,7 +161,7 @@ class ParallelExecutor:
         self,
         *,
         jobs: int | None = None,
-        backend: str = "auto",
+        backend: Backend | str = Backend.AUTO,
         strategy: str = "hash",
         engine: str | Engine | EngineConfig | None = None,
         max_incidents: int | None = None,
@@ -171,7 +176,9 @@ class ParallelExecutor:
         from repro.cache.manager import resolve_cache
 
         self.jobs = jobs if jobs is not None else default_jobs()
-        self.backend = backend
+        self.backend = Backend.coerce(
+            backend, allow=Backend.executor(), where="executor backend"
+        )
         self.strategy = strategy
         self.engine = _engine_config(engine, max_incidents)
         self.tracer = tracer

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from repro.core.errors import ReproError
 from repro.core.model import Log, LogRecord
+from repro.core.view import LogView
 from repro.logstore.store import LogStore
 
 __all__ = ["Shard", "ShardPlan", "SHARD_STRATEGIES", "assign_wids", "plan_shards"]
@@ -172,18 +173,22 @@ def assign_wids(
     return [tuple(group) for group in groups if group]
 
 
-def _wid_sizes(source: Log | LogStore) -> dict[int, int]:
+def _wid_sizes(source: "LogView | LogStore") -> dict[int, int]:
     if isinstance(source, LogStore):
         return source.wid_record_counts()
-    return {wid: len(source.instance(wid)) for wid in source.wids}
+    # any LogView (object-row Log, ColumnarLog, ...) answers through the
+    # protocol surface only
+    return {wid: len(source.wid_slice(wid)) for wid in source.wids}
 
 
 def plan_shards(
-    source: Log | LogStore, n_shards: int, *, strategy: str = "hash"
+    source: "LogView | LogStore", n_shards: int, *, strategy: str = "hash"
 ) -> ShardPlan:
     """Partition ``source`` into up to ``n_shards`` wid-disjoint shards.
 
-    Accepts a read-only :class:`~repro.core.model.Log` or a live
+    Accepts any read-only :class:`~repro.core.view.LogView` (the
+    object-row :class:`~repro.core.model.Log`, a
+    :class:`~repro.columnar.ColumnarLog`, ...) or a live
     :class:`~repro.logstore.store.LogStore` (sharded directly from its
     append buffer, without a full validated snapshot).  Shards that would
     be empty (more shards than instances) are dropped, so the returned

@@ -15,6 +15,7 @@ from collections.abc import Iterable
 from time import perf_counter
 
 from repro.core.model import Log, LogRecord
+from repro.core.view import LogView
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 
@@ -70,6 +71,17 @@ class LogIndex:
         cls, log: Log, *, metrics: MetricsRegistry | None = None
     ) -> "LogIndex":
         return cls(log.records, metrics=metrics)
+
+    @classmethod
+    def from_view(
+        cls, view: LogView, *, metrics: MetricsRegistry | None = None
+    ) -> "LogIndex":
+        """Build from any :class:`~repro.core.view.LogView` — the
+        object-row :class:`~repro.core.model.Log`, a
+        :class:`~repro.columnar.ColumnarLog`, or any other implementation
+        of the read protocol.  ``records()`` is lsn-ordered by contract,
+        which is exactly the arrival order :meth:`add` requires."""
+        return cls(view.records(), metrics=metrics)
 
     def add(self, record: LogRecord) -> None:
         """Index one record (must arrive in ascending lsn order)."""

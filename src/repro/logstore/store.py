@@ -21,12 +21,16 @@ Example
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 from uuid import uuid4
 
 from repro.core.errors import LogStoreError
 from repro.core.model import END, START, AttrMap, Log, LogRecord
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columnar.column_log import ColumnarLog
 
 __all__ = ["LogStore"]
 
@@ -55,6 +59,7 @@ class LogStore:
         self._next_wid = 1
         self._epoch = 0
         self._lineage = f"logstore:{uuid4().hex}"
+        self._columnar: "ColumnarLog | None" = None
         self.metrics = metrics
 
     @property
@@ -186,6 +191,24 @@ class LogStore:
             lineage=self._lineage,
             snapshot=True,
         )
+
+    def columnar(self) -> "ColumnarLog":
+        """The columnar form of the current contents, cached per epoch.
+
+        The first call after any append builds a fresh validated snapshot
+        and its :class:`~repro.columnar.ColumnarLog`; subsequent calls at
+        the same epoch return the cached view (the store's epoch advances
+        with every record, so staleness is impossible).  This is the
+        store-side entry point the vectorized and sqlite backends use to
+        amortise the columnar build across queries.
+        """
+        cached = self._columnar
+        if cached is not None and cached.epoch == self._epoch:
+            return cached
+        if self.metrics is not None:
+            self.metrics.counter("logstore.columnar_builds").inc()
+        self._columnar = self.snapshot().columnar()
+        return self._columnar
 
     def wid_record_counts(self) -> dict[int, int]:
         """Per-instance record counts, in one pass over the store.

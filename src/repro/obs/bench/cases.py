@@ -141,6 +141,52 @@ def register_standard_cases(registry: BenchRegistry) -> None:
         pattern = parse("GetRefer -> UpdateRefer -> GetReimburse")
         return lambda: engine.evaluate(log, pattern)
 
+    # -- columnar (PR 10) --------------------------------------------------
+
+    @registry.case(
+        "columnar.build",
+        suites=("smoke", "full"),
+        description="ColumnarLog.from_log: intern + column fill over the "
+        "scaling reference log",
+        instances=100,
+    )
+    def _columnar_build(instances: int) -> Callable[[], Any]:
+        from repro.columnar import ColumnarLog
+
+        log = clinic_log(instances, seed=3)
+        return lambda: ColumnarLog.from_log(log)
+
+    @registry.case(
+        "vector.join",
+        suites=("smoke", "full"),
+        description="the scaling.chain query through the vectorized "
+        "span-tuple engine over a prebuilt columnar view",
+        instances=100,
+    )
+    def _vector_join(instances: int) -> Callable[[], Any]:
+        from repro.core.eval.vectorized import VectorizedEngine
+
+        columnar = clinic_log(instances, seed=3).columnar()
+        engine = VectorizedEngine()
+        pattern = parse("GetRefer -> UpdateRefer -> GetReimburse")
+        return lambda: engine.evaluate(columnar, pattern)
+
+    @registry.case(
+        "sqlite.pushdown",
+        suites=("smoke", "full"),
+        description="the scaling.chain query compiled to SQL against a "
+        "pre-warmed in-memory sqlite warehouse",
+        instances=100,
+    )
+    def _sqlite_pushdown(instances: int) -> Callable[[], Any]:
+        from repro.columnar.sqlite import SqliteEngine
+
+        columnar = clinic_log(instances, seed=3).columnar()
+        engine = SqliteEngine()
+        pattern = parse("GetRefer -> UpdateRefer -> GetReimburse")
+        engine.evaluate(columnar, pattern)  # warm the warehouse load
+        return lambda: engine.evaluate(columnar, pattern)
+
     # -- optimizer (Theorems 2-5) -----------------------------------------
 
     @registry.case(

@@ -20,7 +20,7 @@ class TestConstruction:
             Query(42)  # type: ignore[arg-type]
 
     def test_engine_registry(self):
-        assert set(ENGINES) == {"naive", "indexed"}
+        assert set(ENGINES) == {"naive", "indexed", "vectorized", "sqlite"}
         assert isinstance(Query("A", engine="naive").engine, NaiveEngine)
         assert isinstance(Query("A").engine, IndexedEngine)
 

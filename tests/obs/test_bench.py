@@ -129,6 +129,9 @@ class TestRegistry:
             "journal",
             "service",
             "live",
+            "columnar",
+            "vector",
+            "sqlite",
         }
         assert "smoke" in registry.suites()
         # every smoke case is also a full case: full is the superset sweep

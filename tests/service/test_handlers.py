@@ -196,7 +196,7 @@ class TestClamping:
         )
         assert response.status == 400
         assert payload(response)["error"]["details"]["available"] == [
-            "indexed", "naive",
+            "indexed", "naive", "sqlite", "vectorized",
         ]
 
 

@@ -98,6 +98,42 @@ class TestBenchRun:
         assert re.search(r"\d+ case\(s\), suites: .*smoke", out)
 
 
+class TestBenchSummary:
+    """``bench run`` emits a per-suite ``BENCH_<suite>.json`` summary
+    next to the history file (the ROADMAP workflow used to reference
+    these summaries without anything writing them)."""
+
+    def test_summary_is_written_next_to_history(self, tmp_path, capsys):
+        _, history_path = _run_bench(tmp_path)
+        summary_path = history_path.parent / "BENCH_custom.json"
+        assert summary_path.exists()  # --case runs land in suite "custom"
+        document = json.loads(summary_path.read_text())
+        validate_bench(document)
+        assert document["suite"] == "custom"
+        assert [c["name"] for c in document["cases"]] == [FAST_CASE]
+        assert f"summary -> {summary_path}" in capsys.readouterr().out
+
+    def test_summary_tracks_the_latest_run(self, tmp_path):
+        _run_bench(tmp_path)
+        first = (tmp_path / "BENCH_custom.json").read_text()
+        _run_bench(tmp_path)
+        second = (tmp_path / "BENCH_custom.json").read_text()
+        assert json.loads(second)["created_unix"] >= json.loads(first)[
+            "created_unix"
+        ]
+        # one summary file, not one per run
+        assert len(list(tmp_path.glob("BENCH_*.json"))) == 1
+
+    def test_history_dash_skips_the_summary(self, tmp_path, capsys):
+        assert main([
+            "bench", "run", "--case", FAST_CASE, "--repeats", "1",
+            "--warmup", "0", "--out", str(tmp_path / "r.json"),
+            "--history", "-",
+        ]) == 0
+        assert not list(tmp_path.glob("BENCH_*.json"))
+        assert "summary ->" not in capsys.readouterr().out
+
+
 class TestBenchCompare:
     def test_identical_rerun_passes(self, tmp_path, capsys):
         out_path, _ = _run_bench(tmp_path)
